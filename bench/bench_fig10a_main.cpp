@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figures 1 and 10a — the headline result: performance evolution over
+ * time (normalized IPC) and lifetime (months to 50% NVM capacity) of
+ * BH, BH_CP, LHybrid, TAP, CP_SD, CP_SD_Th4 and CP_SD_Th8, between the
+ * 16-way and 4-way SRAM bounds. Ten Table V mixes, endurance
+ * mu = 1e10 / cv = 0.2.
+ *
+ * Paper reference (lifetime factors over BH): BH_CP 4.8x, CP_SD 16.8x,
+ * LHybrid 19.7x, TAP 39x; CP_SD keeps ~97% of BH performance while
+ * LHybrid loses 11.2% and TAP ~15%. CP_SD_Th4/Th8 trade 1.1%/1.9%
+ * performance for 28%/44% more lifetime than CP_SD.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+
+using namespace hllc;
+using hybrid::PolicyKind;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    const sim::SystemConfig config = sim::SystemConfig::tableIV();
+    sim::printConfigHeader(
+        config, "Figures 1 / 10a: performance vs lifetime (main result)");
+
+    std::printf("# Table III policies: BH (frame-dis., no compr., "
+                "NVM-unaware) | BH_CP (byte-dis., compr., NVM-unaware) "
+                "| LHybrid/TAP (frame-dis., NVM-aware) | CP_SD[,Th] "
+                "(byte-dis., compr., NVM-aware)\n");
+
+    const sim::Experiment experiment(config);
+
+    hybrid::PolicyParams th4;
+    th4.thPercent = 4.0;
+    hybrid::PolicyParams th8;
+    th8.thPercent = 8.0;
+
+    const std::vector<sim::StudyEntry> entries = {
+        { "BH", config.llcConfig(PolicyKind::Bh) },
+        { "BH_CP", config.llcConfig(PolicyKind::BhCp) },
+        { "LHybrid", config.llcConfig(PolicyKind::LHybrid) },
+        { "TAP", config.llcConfig(PolicyKind::Tap) },
+        { "CP_SD", config.llcConfig(PolicyKind::CpSd) },
+        { "CP_SD_Th4", config.llcConfig(PolicyKind::CpSdTh, th4) },
+        { "CP_SD_Th8", config.llcConfig(PolicyKind::CpSdTh, th8) },
+    };
+    sim::runAndPrintForecastStudy(experiment, entries);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 10b: SRAM/NVM proportion sensitivity — the hybrid LLC with a
+ * 3-way SRAM + 13-way NVM split instead of 4 + 12.
+ *
+ * Paper reference: BH/BH_CP barely change; LHybrid detects less read
+ * reuse (2.2% lower performance, 14% longer lifetime); the CP_SD family
+ * loses ~2.1-2.6% performance and gains 3-7% lifetime.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+
+using namespace hllc;
+using hybrid::PolicyKind;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    sim::SystemConfig config = sim::SystemConfig::tableIV();
+    config.sramWays = 3;
+    config.nvmWays = 13;
+    sim::printConfigHeader(
+        config, "Figure 10b: 3w SRAM + 13w NVM proportion sensitivity");
+    const sim::Experiment experiment(config);
+
+    hybrid::PolicyParams th4;
+    th4.thPercent = 4.0;
+    hybrid::PolicyParams th8;
+    th8.thPercent = 8.0;
+
+    const std::vector<sim::StudyEntry> entries = {
+        { "BH", config.llcConfig(PolicyKind::Bh) },
+        { "BH_CP", config.llcConfig(PolicyKind::BhCp) },
+        { "LHybrid", config.llcConfig(PolicyKind::LHybrid) },
+        { "CP_SD", config.llcConfig(PolicyKind::CpSd) },
+        { "CP_SD_Th4", config.llcConfig(PolicyKind::CpSdTh, th4) },
+        { "CP_SD_Th8", config.llcConfig(PolicyKind::CpSdTh, th8) },
+    };
+    sim::runAndPrintForecastStudy(experiment, entries);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 8: distribution of the per-epoch optimal CPth (the candidate
+ * with the most hits among the Set Dueling leader groups), (a) as the
+ * NVM part loses capacity from 100% to 50%, and (b) per workload mix at
+ * 100% capacity.
+ *
+ * Paper reference: at 100% capacity, CPth 58/64 win most epochs but
+ * ~30% of epochs prefer smaller values; smaller CPth values win more
+ * often as capacity shrinks, and the per-mix variation is large (up to
+ * 96% small-CPth epochs for mix 5).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hh"
+#include "compression/encoding.hh"
+#include "sim/experiment.hh"
+
+using namespace hllc;
+using hybrid::PolicyKind;
+
+namespace
+{
+
+void
+printDistribution(const char *row_label,
+                  const std::vector<unsigned> &history)
+{
+    std::map<unsigned, unsigned> counts;
+    for (unsigned winner : history)
+        ++counts[winner];
+    std::printf("%-10s", row_label);
+    const double total = history.empty() ? 1.0 : history.size();
+    for (unsigned c : compression::cpthCandidates())
+        std::printf(" %6.1f%%", 100.0 * counts[c] / total);
+    std::printf("   (%zu epochs)\n", history.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    const sim::SystemConfig config = sim::SystemConfig::tableIV();
+    sim::printConfigHeader(
+        config, "Figure 8: distribution of per-epoch optimal CPth");
+    const sim::Experiment experiment(config);
+
+    std::printf("\ncolumns: CPth =");
+    for (unsigned c : compression::cpthCandidates())
+        std::printf(" %u", c);
+    std::printf("\n\n# (a) by NVM effective capacity, all mixes\n");
+
+    for (double capacity : { 1.0, 0.9, 0.8, 0.7, 0.6, 0.5 }) {
+        const auto phase = experiment.runPhase(
+            config.llcConfig(PolicyKind::CpSd), "CP_SD", capacity);
+        char label[16];
+        std::snprintf(label, sizeof(label), "%3.0f%%",
+                      100.0 * capacity);
+        printDistribution(label, phase.winnerHistory);
+    }
+
+    std::printf("\n# (b) by mix, 100%% NVM capacity\n");
+    for (std::size_t mix = 0; mix < experiment.traces().size(); ++mix) {
+        const auto phase = experiment.runPhase(
+            config.llcConfig(PolicyKind::CpSd), "CP_SD", 1.0,
+            experiment.tracePtr(mix));
+        char label[16];
+        std::snprintf(label, sizeof(label), "mix %zu", mix + 1);
+        printDistribution(label, phase.winnerHistory);
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 9: hits and NVM bytes written of CP_SD_Th for Th in
+ * {0, 2, 4, 6, 8}% (Tw = 5%) at NVM capacities 100/90/80%, normalized
+ * to BH at 100% capacity.
+ *
+ * Paper reference: increasing Th decreases both hits and bytes written,
+ * with a much larger relative decrease in bytes written, especially at
+ * lower capacities (e.g. Th 0->8 at 80% capacity: hits 0.925->0.916,
+ * bytes 0.059->0.035).
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+
+using namespace hllc;
+using hybrid::PolicyKind;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    const sim::SystemConfig config = sim::SystemConfig::tableIV();
+    sim::printConfigHeader(
+        config,
+        "Figure 9: CP_SD_Th hits vs NVM bytes written (Tw = 5%)");
+    const sim::Experiment experiment(config);
+
+    const auto bh = experiment.runPhase(
+        config.llcConfig(PolicyKind::Bh), "BH", 1.0);
+    const double bh_hits =
+        static_cast<double>(bh.aggregate.demandHits);
+    const double bh_bytes =
+        static_cast<double>(bh.aggregate.nvmBytesWritten);
+
+    std::printf("\n%8s %6s %12s %12s\n", "capacity", "Th",
+                "norm.hits", "norm.bytes");
+    for (double capacity : { 1.0, 0.9, 0.8 }) {
+        for (double th : { 0.0, 2.0, 4.0, 6.0, 8.0 }) {
+            hybrid::PolicyParams params;
+            params.thPercent = th;
+            params.twPercent = 5.0;
+            // Th = 0 is plain CP_SD (max-hits winner).
+            const auto policy = th == 0.0 ? PolicyKind::CpSd
+                                          : PolicyKind::CpSdTh;
+            const auto phase = experiment.runPhase(
+                config.llcConfig(policy, params), "CP_SD_Th", capacity);
+            std::printf("%7.0f%% %6.0f %12.4f %12.4f\n",
+                        100.0 * capacity, th,
+                        phase.aggregate.demandHits / bh_hits,
+                        phase.aggregate.nvmBytesWritten / bh_bytes);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths: BDI
+ * compression/decompression, rearrangement scatter/gather, SECDED
+ * encode/decode, hybrid-LLC event handling and full-trace replay.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compression/bdi.hh"
+#include "fault/rearrangement.hh"
+#include "fault/secded.hh"
+#include "hierarchy/hierarchy.hh"
+#include "replay/replayer.hh"
+#include "workload/block_synth.hh"
+#include "workload/mixes.hh"
+
+using namespace hllc;
+using compression::BdiCompressor;
+using compression::Ce;
+
+namespace
+{
+
+void
+BM_BdiCompress(benchmark::State &state)
+{
+    const auto ce = static_cast<Ce>(state.range(0));
+    const BlockData data = workload::synthesizeBlock(ce, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(BdiCompressor::compress(data));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * blockBytes);
+}
+BENCHMARK(BM_BdiCompress)
+    ->Arg(static_cast<int>(Ce::Zeros))
+    ->Arg(static_cast<int>(Ce::B8D2))
+    ->Arg(static_cast<int>(Ce::B8D7))
+    ->Arg(static_cast<int>(Ce::Uncompressed));
+
+void
+BM_BdiEncodeDecode(benchmark::State &state)
+{
+    const auto ce = static_cast<Ce>(state.range(0));
+    const BlockData data = workload::synthesizeBlock(ce, 1);
+    for (auto _ : state) {
+        const auto ecb = BdiCompressor::encode(data, ce);
+        benchmark::DoNotOptimize(BdiCompressor::decode(ce, ecb));
+    }
+}
+BENCHMARK(BM_BdiEncodeDecode)
+    ->Arg(static_cast<int>(Ce::B8D2))
+    ->Arg(static_cast<int>(Ce::B2D1));
+
+void
+BM_RearrangementScatterGather(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    std::vector<std::uint8_t> ecb(n, 0xab);
+    // A frame with a few faulty bytes, as in Fig. 5.
+    const std::uint64_t live = ~std::uint64_t{0} & ~0x120ull;
+    for (auto _ : state) {
+        const auto scattered =
+            fault::RearrangementCircuit::scatter(ecb, live, 17);
+        benchmark::DoNotOptimize(fault::RearrangementCircuit::gather(
+            std::span<const std::uint8_t, blockBytes>(scattered.recb),
+            live, 17, n));
+    }
+}
+BENCHMARK(BM_RearrangementScatterGather)->Arg(9)->Arg(37)->Arg(58);
+
+void
+BM_Secded527(benchmark::State &state)
+{
+    const fault::SecdedCodec &codec = fault::llcSecdedCodec();
+    Xoshiro256StarStar rng(7);
+    std::vector<std::uint8_t> data(codec.dataBits());
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.nextBounded(2));
+    const auto cw = codec.encode(data);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.decode(cw));
+}
+BENCHMARK(BM_Secded527);
+
+void
+BM_LlcDemandHit(benchmark::State &state)
+{
+    hybrid::HybridLlcConfig config;
+    config.numSets = 128;
+    config.policy = hybrid::PolicyKind::CpSd;
+    const fault::NvmGeometry geom{ config.numSets, config.nvmWays, 64 };
+    const fault::EnduranceModel endurance(
+        geom, { 1e12, 0.0 }, Xoshiro256StarStar(1));
+    fault::FaultMap map(endurance, fault::DisableGranularity::Byte);
+    hybrid::HybridLlc llc(config, &map);
+
+    llc.onPut(1024, false, 30);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(llc.onGetS(1024));
+}
+BENCHMARK(BM_LlcDemandHit);
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    static const replay::LlcTrace trace = hierarchy::captureTrace(
+        workload::tableVMixes()[0], 2048,
+        hierarchy::PrivateCacheConfig{ 2048, 4, 8192, 16 }, 100'000, 1);
+
+    hybrid::HybridLlcConfig config;
+    config.numSets = 128;
+    config.policy = hybrid::PolicyKind::CpSd;
+    const fault::NvmGeometry geom{ config.numSets, config.nvmWays, 64 };
+    const fault::EnduranceModel endurance(
+        geom, { 1e12, 0.0 }, Xoshiro256StarStar(1));
+    fault::FaultMap map(endurance, fault::DisableGranularity::Byte);
+    hybrid::HybridLlc llc(config, &map);
+
+    const replay::TraceReplayer replayer(0.2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(replayer.replay(trace, llc));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * trace.size());
+}
+BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

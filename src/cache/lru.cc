@@ -1,0 +1,69 @@
+#include "cache/lru.hh"
+
+#include "common/logging.hh"
+
+namespace hllc::cache
+{
+
+LruState::LruState(std::uint32_t num_sets, std::uint32_t num_ways)
+    : numSets_(num_sets), numWays_(num_ways),
+      stamps_(static_cast<std::size_t>(num_sets) * num_ways, 0)
+{
+    HLLC_ASSERT(num_sets > 0 && num_ways > 0);
+}
+
+void
+LruState::touch(std::uint32_t set, std::uint32_t way)
+{
+    HLLC_ASSERT(set < numSets_ && way < numWays_);
+    stamps_[static_cast<std::size_t>(set) * numWays_ + way] = ++clock_;
+}
+
+std::uint64_t
+LruState::stamp(std::uint32_t set, std::uint32_t way) const
+{
+    HLLC_ASSERT(set < numSets_ && way < numWays_);
+    return stamps_[static_cast<std::size_t>(set) * numWays_ + way];
+}
+
+int
+LruState::lruWay(std::uint32_t set, std::uint32_t begin, std::uint32_t end,
+                 const std::function<bool(std::uint32_t)> &eligible) const
+{
+    HLLC_ASSERT(set < numSets_ && begin <= end && end <= numWays_);
+    int best = -1;
+    std::uint64_t best_stamp = 0;
+    for (std::uint32_t w = begin; w < end; ++w) {
+        if (!eligible(w))
+            continue;
+        const std::uint64_t s =
+            stamps_[static_cast<std::size_t>(set) * numWays_ + w];
+        if (best == -1 || s < best_stamp) {
+            best = static_cast<int>(w);
+            best_stamp = s;
+        }
+    }
+    return best;
+}
+
+int
+LruState::mruWay(std::uint32_t set, std::uint32_t begin, std::uint32_t end,
+                 const std::function<bool(std::uint32_t)> &eligible) const
+{
+    HLLC_ASSERT(set < numSets_ && begin <= end && end <= numWays_);
+    int best = -1;
+    std::uint64_t best_stamp = 0;
+    for (std::uint32_t w = begin; w < end; ++w) {
+        if (!eligible(w))
+            continue;
+        const std::uint64_t s =
+            stamps_[static_cast<std::size_t>(set) * numWays_ + w];
+        if (best == -1 || s > best_stamp) {
+            best = static_cast<int>(w);
+            best_stamp = s;
+        }
+    }
+    return best;
+}
+
+} // namespace hllc::cache

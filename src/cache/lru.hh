@@ -1,0 +1,58 @@
+/**
+ * @file
+ * True-LRU recency tracking shared by the private caches and the LLC.
+ *
+ * Recency is kept as a monotonically increasing per-line timestamp; with
+ * at most 16 ways a victim scan is cheaper and simpler than maintaining
+ * linked stacks, and it makes constrained victim searches (Fit-LRU over
+ * frames with enough effective capacity, paper Sec. III-B1) trivial.
+ */
+
+#ifndef HLLC_CACHE_LRU_HH
+#define HLLC_CACHE_LRU_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hllc::cache
+{
+
+class LruState
+{
+  public:
+    LruState(std::uint32_t num_sets, std::uint32_t num_ways);
+
+    /** Mark (set, way) most recently used. */
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    /** Timestamp of (set, way); larger = more recent. 0 = never used. */
+    std::uint64_t stamp(std::uint32_t set, std::uint32_t way) const;
+
+    /**
+     * Least recently used way of @p set among ways in [begin, end) that
+     * satisfy @p eligible. Returns -1 when no way is eligible.
+     */
+    int lruWay(std::uint32_t set, std::uint32_t begin, std::uint32_t end,
+               const std::function<bool(std::uint32_t)> &eligible) const;
+
+    /**
+     * Most recently used way of @p set among ways in [begin, end) that
+     * satisfy @p eligible. Returns -1 when no way is eligible.
+     */
+    int mruWay(std::uint32_t set, std::uint32_t begin, std::uint32_t end,
+               const std::function<bool(std::uint32_t)> &eligible) const;
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t numWays() const { return numWays_; }
+
+  private:
+    std::uint32_t numSets_;
+    std::uint32_t numWays_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamps_;
+};
+
+} // namespace hllc::cache
+
+#endif // HLLC_CACHE_LRU_HH

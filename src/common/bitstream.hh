@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bit-granular serialization used by the bit-packed compression schemes
+ * (FPC prefixes, C-Pack codes). LSB-first within each byte.
+ */
+
+#ifndef HLLC_COMMON_BITSTREAM_HH
+#define HLLC_COMMON_BITSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hllc
+{
+
+/** Append-only bit writer. */
+class BitWriter
+{
+  public:
+    /** Append the low @p bits of @p value (bits <= 64). */
+    void
+    write(std::uint64_t value, unsigned bits)
+    {
+        HLLC_ASSERT(bits <= 64);
+        for (unsigned i = 0; i < bits; ++i) {
+            const unsigned byte = bitCount_ >> 3;
+            if (byte >= bytes_.size())
+                bytes_.push_back(0);
+            if ((value >> i) & 1)
+                bytes_[byte] |= static_cast<std::uint8_t>(
+                    1u << (bitCount_ & 7));
+            ++bitCount_;
+        }
+    }
+
+    /** Bits written so far. */
+    std::size_t bitCount() const { return bitCount_; }
+
+    /** Bytes needed to hold the written bits. */
+    std::size_t byteCount() const { return (bitCount_ + 7) / 8; }
+
+    /** The packed bytes (padded with zero bits). */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t bitCount_ = 0;
+};
+
+/** Sequential bit reader over a byte buffer. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint8_t> &bytes)
+        : bytes_(&bytes)
+    {
+    }
+
+    /** Read @p bits (<= 64) as an unsigned value. */
+    std::uint64_t
+    read(unsigned bits)
+    {
+        HLLC_ASSERT(bits <= 64);
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < bits; ++i) {
+            const std::size_t byte = pos_ >> 3;
+            HLLC_ASSERT(byte < bytes_->size(),
+                        "bit read past end of stream");
+            if (((*bytes_)[byte] >> (pos_ & 7)) & 1)
+                value |= std::uint64_t{1} << i;
+            ++pos_;
+        }
+        return value;
+    }
+
+    /** Bits consumed so far. */
+    std::size_t position() const { return pos_; }
+
+  private:
+    const std::vector<std::uint8_t> *bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace hllc
+
+#endif // HLLC_COMMON_BITSTREAM_HH

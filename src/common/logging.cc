@@ -1,0 +1,106 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hllc
+{
+
+namespace
+{
+
+LogLevel g_level = LogLevel::Inform;
+
+void
+vreport(const char *tag, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // anonymous namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Inform)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("debug", fmt, ap);
+    va_end(ap);
+}
+
+void
+panicAssert(const char *cond, const char *file, int line,
+            const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d",
+                 cond, file, line);
+    if (fmt && fmt[0] != '\0') {
+        std::fprintf(stderr, ": ");
+        std::va_list ap;
+        va_start(ap, fmt);
+        std::vfprintf(stderr, fmt, ap);
+        va_end(ap);
+    }
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+} // namespace hllc

@@ -1,0 +1,127 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hllc
+{
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed)
+{
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t z = seed;
+    for (auto &s : s_) {
+        z += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t t = z;
+        t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+        s = t ^ (t >> 31);
+    }
+}
+
+std::uint64_t
+Xoshiro256StarStar::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Xoshiro256StarStar::nextBounded(std::uint64_t bound)
+{
+    HLLC_ASSERT(bound != 0);
+    // Debiased multiply-shift (Lemire); the retry loop is entered with
+    // probability < bound / 2^64 and so is effectively free.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (low < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Xoshiro256StarStar::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Xoshiro256StarStar::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Xoshiro256StarStar::nextGaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spareGaussian_;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spareGaussian_ = r * std::sin(theta);
+    hasSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Xoshiro256StarStar::nextNormalCv(double mu, double cv, double floor)
+{
+    const double v = mu + cv * mu * nextGaussian();
+    return v < floor ? floor : v;
+}
+
+Xoshiro256StarStar
+Xoshiro256StarStar::fork(std::uint64_t salt)
+{
+    return Xoshiro256StarStar(mix64(next() ^ mix64(salt)));
+}
+
+} // namespace hllc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in hllc (endurance draws, workload synthesis,
+ * mix selection) flows through Xoshiro256StarStar so that experiments are
+ * reproducible from a single seed. The generator is splittable: child
+ * streams derived with fork() are statistically independent, letting each
+ * subsystem own a private stream while staying deterministic regardless of
+ * call interleaving.
+ */
+
+#ifndef HLLC_COMMON_RNG_HH
+#define HLLC_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace hllc
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded through
+ * SplitMix64 so any 64-bit seed (including 0) yields a good state.
+ */
+class Xoshiro256StarStar
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Xoshiro256StarStar(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
+    bool nextBool(double p);
+
+    /**
+     * Standard normal variate (Box-Muller, one value per call; the spare
+     * is cached).
+     */
+    double nextGaussian();
+
+    /**
+     * Normal variate with mean @p mu and coefficient of variation @p cv
+     * (sigma = cv * mu), truncated below at @p floor to keep physically
+     * meaningless non-positive endurance draws out of the model.
+     */
+    double nextNormalCv(double mu, double cv, double floor = 1.0);
+
+    /**
+     * Derive an independent child stream. The child is seeded from this
+     * stream's next output mixed with @p salt, so forks with distinct
+     * salts never collide.
+     */
+    Xoshiro256StarStar fork(std::uint64_t salt);
+
+  private:
+    std::uint64_t s_[4];
+    double spareGaussian_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+/**
+ * Stateless 64-bit mix function (SplitMix64 finalizer). Used to derive
+ * deterministic per-block value seeds from (block id, version) pairs
+ * without storing any state.
+ */
+std::uint64_t mix64(std::uint64_t x);
+
+} // namespace hllc
+
+#endif // HLLC_COMMON_RNG_HH

@@ -1,0 +1,93 @@
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+
+namespace hllc
+{
+
+Histogram::Histogram(std::size_t bucket_count, double bucket_width)
+    : buckets_(bucket_count, 0), width_(bucket_width)
+{
+    HLLC_ASSERT(bucket_count > 0);
+    HLLC_ASSERT(bucket_width > 0.0);
+}
+
+void
+Histogram::sample(double v)
+{
+    if (v < 0.0)
+        v = 0.0;
+    auto idx = static_cast<std::size_t>(v / width_);
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+    ++samples_;
+    sum_ += v;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0 ? 0.0 : sum_ / static_cast<double>(samples_);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    samples_ = 0;
+    sum_ = 0.0;
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Histogram &
+StatGroup::histogram(const std::string &name, std::size_t bucket_count,
+                     double bucket_width)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name,
+                                 Histogram(bucket_count,
+                                           bucket_width)).first;
+    }
+    return it->second;
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, h] : histograms_)
+        h.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name_ << '.' << name << ' ' << c.value() << '\n';
+    for (const auto &[name, h] : histograms_) {
+        os << name_ << '.' << name << ".count " << h.count() << '\n';
+        os << name_ << '.' << name << ".mean " << h.mean() << '\n';
+    }
+}
+
+} // namespace hllc

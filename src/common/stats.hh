@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of gem5's Stats.
+ *
+ * A StatGroup owns named scalar counters and histograms. Subsystems expose
+ * their group so experiments can dump everything uniformly; tests can read
+ * individual stats by name.
+ */
+
+#ifndef HLLC_COMMON_STATS_HH
+#define HLLC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hllc
+{
+
+/** A named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A fixed-bucket histogram over [0, bucketCount * bucketWidth). */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_count number of equal-width buckets
+     * @param bucket_width width of each bucket; samples beyond the last
+     *        bucket are clamped into it
+     */
+    Histogram(std::size_t bucket_count = 16, double bucket_width = 1.0);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return samples_; }
+    double mean() const;
+    /** Number of samples that fell in bucket @p i. */
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t bucketCount() const { return buckets_.size(); }
+    double bucketWidth() const { return width_; }
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    double width_;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A registry of named counters/histograms belonging to one component.
+ * Names are unique within the group; registration of a duplicate name is
+ * a simulator bug.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name);
+
+    /** Create-or-find a counter named @p name. */
+    Counter &counter(const std::string &name);
+    /** Create-or-find a histogram named @p name. */
+    Histogram &histogram(const std::string &name,
+                         std::size_t bucket_count = 16,
+                         double bucket_width = 1.0);
+
+    /** Value of the counter @p name; 0 if it was never created. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Zero every stat in the group. */
+    void resetAll();
+
+    /** Write "group.name value" lines for every stat. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace hllc
+
+#endif // HLLC_COMMON_STATS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental types and constants shared by every hllc subsystem.
+ */
+
+#ifndef HLLC_COMMON_TYPES_HH
+#define HLLC_COMMON_TYPES_HH
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace hllc
+{
+
+/** Byte-granular physical/virtual address. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated time in seconds (forecast granularity). */
+using Seconds = double;
+
+/** Identifier of a core in the simulated CMP. */
+using CoreId = std::uint8_t;
+
+/** Cache block (line) size used throughout the hierarchy, in bytes. */
+inline constexpr std::size_t blockBytes = 64;
+
+/** log2(blockBytes); offset bits inside a block. */
+inline constexpr unsigned blockOffsetBits = 6;
+
+/** Raw contents of one cache block. */
+using BlockData = std::array<std::uint8_t, blockBytes>;
+
+/** Clock frequency of the simulated cores (Table IV: 3.5 GHz). */
+inline constexpr double coreFrequencyHz = 3.5e9;
+
+/** Seconds in one (30-day) month, the unit of the lifetime plots. */
+inline constexpr Seconds secondsPerMonth = 30.0 * 24.0 * 3600.0;
+
+/** Convert cycles of simulated execution to wall-clock seconds. */
+inline Seconds
+cyclesToSeconds(Cycle cycles)
+{
+    return static_cast<Seconds>(cycles) / coreFrequencyHz;
+}
+
+/** Convert wall-clock seconds to cycles of simulated execution. */
+inline Cycle
+secondsToCycles(Seconds seconds)
+{
+    return static_cast<Cycle>(seconds * coreFrequencyHz);
+}
+
+/** Block-aligned address of the block containing @p addr. */
+inline Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(blockBytes - 1);
+}
+
+/** Block number (address / 64) of @p addr. */
+inline Addr
+blockNumber(Addr addr)
+{
+    return addr >> blockOffsetBits;
+}
+
+} // namespace hllc
+
+#endif // HLLC_COMMON_TYPES_HH

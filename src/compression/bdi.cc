@@ -1,0 +1,229 @@
+#include "compression/bdi.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hllc::compression
+{
+
+namespace
+{
+
+/** Little-endian read of the @p k-byte value @p idx of the block. */
+std::uint64_t
+readValue(const BlockData &data, unsigned k, unsigned idx)
+{
+    std::uint64_t v = 0;
+    std::memcpy(&v, data.data() + static_cast<std::size_t>(idx) * k, k);
+    return v;
+}
+
+/** Little-endian write of the low @p k bytes of @p v at value slot idx. */
+void
+writeValue(BlockData &data, unsigned k, unsigned idx, std::uint64_t v)
+{
+    std::memcpy(data.data() + static_cast<std::size_t>(idx) * k, &v, k);
+}
+
+/** Sign-extend the low @p k bytes of @p v to 64 bits. */
+std::int64_t
+signExtend(std::uint64_t v, unsigned k)
+{
+    if (k >= 8)
+        return static_cast<std::int64_t>(v);
+    const unsigned shift = 64 - 8 * k;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+/** Whether signed @p delta is representable in @p d bytes. */
+bool
+fitsSigned(std::int64_t delta, unsigned d)
+{
+    if (d >= 8)
+        return true;
+    const std::int64_t bound = std::int64_t{1} << (8 * d - 1);
+    return delta >= -bound && delta < bound;
+}
+
+bool
+allZero(const BlockData &data)
+{
+    for (auto b : data) {
+        if (b != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+repeated8(const BlockData &data)
+{
+    const std::uint64_t first = readValue(data, 8, 0);
+    for (unsigned i = 1; i < blockBytes / 8; ++i) {
+        if (readValue(data, 8, i) != first)
+            return false;
+    }
+    return true;
+}
+
+/** Base-delta applicability test for a (base k, delta d) encoding. */
+bool
+baseDeltaFits(const BlockData &data, unsigned k, unsigned d)
+{
+    const std::int64_t base = signExtend(readValue(data, k, 0), k);
+    const unsigned values = blockBytes / k;
+    for (unsigned i = 1; i < values; ++i) {
+        const std::int64_t v = signExtend(readValue(data, k, i), k);
+        // The difference of two sign-extended k-byte values always fits
+        // in 64 bits for k <= 8 except k == 8, where two's-complement
+        // wrap-around matches the hardware subtractor.
+        const std::int64_t delta =
+            static_cast<std::int64_t>(static_cast<std::uint64_t>(v) -
+                                      static_cast<std::uint64_t>(base));
+        if (!fitsSigned(delta, d))
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+BdiCompressor::applicable(const BlockData &data, Ce ce)
+{
+    switch (ce) {
+      case Ce::Zeros:
+        return allZero(data);
+      case Ce::Rep8:
+        return repeated8(data);
+      case Ce::Uncompressed:
+        return true;
+      default: {
+        const CeInfo &info = ceInfo(ce);
+        return baseDeltaFits(data, info.baseBytes, info.deltaBytes);
+      }
+    }
+}
+
+CompressionResult
+BdiCompressor::compress(const BlockData &data)
+{
+    // Hardware evaluates all CEs in parallel and a priority tree picks the
+    // smallest ECB; emulate by scanning the table in ascending ECB order.
+    Ce best = Ce::Uncompressed;
+    unsigned best_size = ecbSize(Ce::Uncompressed);
+    for (const CeInfo &info : ceTable()) {
+        if (info.ecbBytes >= best_size)
+            continue;
+        if (applicable(data, info.ce)) {
+            best = info.ce;
+            best_size = info.ecbBytes;
+        }
+    }
+    return { best, ceInfo(best).cbBytes, best_size };
+}
+
+std::vector<std::uint8_t>
+BdiCompressor::encode(const BlockData &data, Ce ce)
+{
+    HLLC_ASSERT(applicable(data, ce), "CE %s does not cover this block",
+                std::string(ceInfo(ce).name).c_str());
+
+    std::vector<std::uint8_t> ecb;
+    ecb.reserve(ecbSize(ce));
+
+    if (ce == Ce::Uncompressed) {
+        ecb.assign(data.begin(), data.end());
+        return ecb;
+    }
+
+    ecb.push_back(static_cast<std::uint8_t>(ce));
+    switch (ce) {
+      case Ce::Zeros:
+        ecb.push_back(0);
+        break;
+      case Ce::Rep8: {
+        const std::uint64_t v = readValue(data, 8, 0);
+        for (unsigned b = 0; b < 8; ++b)
+            ecb.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+        break;
+      }
+      default: {
+        const CeInfo &info = ceInfo(ce);
+        const unsigned k = info.baseBytes;
+        const unsigned d = info.deltaBytes;
+        const std::uint64_t base = readValue(data, k, 0);
+        for (unsigned b = 0; b < k; ++b)
+            ecb.push_back(static_cast<std::uint8_t>(base >> (8 * b)));
+        const unsigned values = blockBytes / k;
+        for (unsigned i = 1; i < values; ++i) {
+            const std::uint64_t delta =
+                readValue(data, k, i) - base; // wraps; low d bytes stored
+            for (unsigned b = 0; b < d; ++b)
+                ecb.push_back(static_cast<std::uint8_t>(delta >> (8 * b)));
+        }
+        break;
+      }
+    }
+
+    HLLC_ASSERT(ecb.size() == ecbSize(ce),
+                "ECB size mismatch: %zu != %u", ecb.size(), ecbSize(ce));
+    return ecb;
+}
+
+BlockData
+BdiCompressor::decode(Ce ce, std::span<const std::uint8_t> ecb)
+{
+    HLLC_ASSERT(ecb.size() == ecbSize(ce));
+
+    BlockData data{};
+    if (ce == Ce::Uncompressed) {
+        std::memcpy(data.data(), ecb.data(), blockBytes);
+        return data;
+    }
+
+    HLLC_ASSERT(ecb[0] == static_cast<std::uint8_t>(ce),
+                "CE header byte does not match encoding");
+
+    switch (ce) {
+      case Ce::Zeros:
+        break; // already zero-initialised
+      case Ce::Rep8: {
+        std::uint64_t v = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            v |= static_cast<std::uint64_t>(ecb[1 + b]) << (8 * b);
+        for (unsigned i = 0; i < blockBytes / 8; ++i)
+            writeValue(data, 8, i, v);
+        break;
+      }
+      default: {
+        const CeInfo &info = ceInfo(ce);
+        const unsigned k = info.baseBytes;
+        const unsigned d = info.deltaBytes;
+        std::uint64_t base = 0;
+        for (unsigned b = 0; b < k; ++b)
+            base |= static_cast<std::uint64_t>(ecb[1 + b]) << (8 * b);
+        writeValue(data, k, 0, base);
+        const unsigned values = blockBytes / k;
+        std::size_t off = 1 + k;
+        const std::uint64_t k_mask =
+            k >= 8 ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << (8 * k)) - 1);
+        for (unsigned i = 1; i < values; ++i) {
+            std::uint64_t raw = 0;
+            for (unsigned b = 0; b < d; ++b)
+                raw |= static_cast<std::uint64_t>(ecb[off + b]) << (8 * b);
+            const std::int64_t delta = signExtend(raw, d);
+            const std::uint64_t v =
+                (base + static_cast<std::uint64_t>(delta)) & k_mask;
+            writeValue(data, k, i, v);
+            off += d;
+        }
+        break;
+      }
+    }
+    return data;
+}
+
+} // namespace hllc::compression

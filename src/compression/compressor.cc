@@ -1,0 +1,76 @@
+#include "compression/compressor.hh"
+
+#include "common/logging.hh"
+#include "compression/bdi.hh"
+#include "compression/cpack.hh"
+#include "compression/fpc.hh"
+
+namespace hllc::compression
+{
+
+std::string_view
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Bdi:
+        return "BDI";
+      case Scheme::Fpc:
+        return "FPC";
+      case Scheme::CPack:
+        return "C-Pack";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** BlockCompressor facade over the paper's modified BDI. */
+class BdiAdapter : public BlockCompressor
+{
+  public:
+    Scheme scheme() const override { return Scheme::Bdi; }
+
+    unsigned
+    ecbSize(const BlockData &data) const override
+    {
+        return BdiCompressor::compress(data).ecbBytes;
+    }
+
+    std::vector<std::uint8_t>
+    compress(const BlockData &data) const override
+    {
+        const CompressionResult result = BdiCompressor::compress(data);
+        return BdiCompressor::encode(data, result.ce);
+    }
+
+    BlockData
+    decompress(std::span<const std::uint8_t> ecb) const override
+    {
+        // Raw blocks carry no header; compressed ones lead with the CE.
+        const Ce ce = ecb.size() == blockBytes
+            ? Ce::Uncompressed
+            : static_cast<Ce>(ecb[0]);
+        return BdiCompressor::decode(ce, ecb);
+    }
+
+    Cycle decompressionCycles() const override { return 2; }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<BlockCompressor>
+BlockCompressor::create(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Bdi:
+        return std::make_unique<BdiAdapter>();
+      case Scheme::Fpc:
+        return std::make_unique<FpcCompressor>();
+      case Scheme::CPack:
+        return std::make_unique<CPackCompressor>();
+    }
+    panic("unknown compression scheme %d", static_cast<int>(scheme));
+}
+
+} // namespace hllc::compression

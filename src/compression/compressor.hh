@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Abstract block-compressor interface.
+ *
+ * The paper's insertion policies are orthogonal to the compression
+ * mechanism (Sec. II-B): anything with low decompression latency, wide
+ * coverage and a usable compression ratio works. This interface lets
+ * the hybrid LLC and workload layers run on top of BDI (the paper's
+ * choice), FPC or C-Pack interchangeably; only the ECB size in bytes is
+ * visible to the policies.
+ */
+
+#ifndef HLLC_COMPRESSION_COMPRESSOR_HH
+#define HLLC_COMPRESSION_COMPRESSOR_HH
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hllc::compression
+{
+
+/** Supported compression schemes. */
+enum class Scheme { Bdi, Fpc, CPack };
+
+/** Printable name of a scheme. */
+std::string_view schemeName(Scheme scheme);
+
+class BlockCompressor
+{
+  public:
+    virtual ~BlockCompressor() = default;
+
+    /** Which scheme this object implements. */
+    virtual Scheme scheme() const = 0;
+
+    /**
+     * Compressed (ECB) size of @p data in bytes, including any headers
+     * the scheme stores in the frame; in [2, 64]. 64 means the block is
+     * stored uncompressed.
+     */
+    virtual unsigned ecbSize(const BlockData &data) const = 0;
+
+    /** Materialise the stored byte image (size == ecbSize(data)). */
+    virtual std::vector<std::uint8_t>
+    compress(const BlockData &data) const = 0;
+
+    /** Inverse of compress(). */
+    virtual BlockData
+    decompress(std::span<const std::uint8_t> ecb) const = 0;
+
+    /** Decompression latency in cycles (timing model). */
+    virtual Cycle decompressionCycles() const = 0;
+
+    /** Factory. */
+    static std::unique_ptr<BlockCompressor> create(Scheme scheme);
+};
+
+} // namespace hllc::compression
+
+#endif // HLLC_COMPRESSION_COMPRESSOR_HH

@@ -1,0 +1,209 @@
+#include "compression/cpack.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/bitstream.hh"
+#include "common/logging.hh"
+
+namespace hllc::compression
+{
+
+namespace
+{
+
+constexpr unsigned wordsPerBlock = blockBytes / 4;
+constexpr std::uint8_t cpackHeader = 0x43; // 'C'
+
+// Code points (C-Pack Table 1). Two- and four-bit codes; the 4-bit
+// codes share the 11 prefix.
+enum Code : std::uint8_t
+{
+    Zzzz = 0b00,   //!< zero word
+    Xxxx = 0b01,   //!< no match: raw word, push
+    Mmmm = 0b10,   //!< full dictionary match
+    LongPrefix = 0b11, //!< escape to the 2-bit subcode below
+    // Subcodes following the 11 prefix:
+    SubMmxx = 0b00, //!< upper-16-bit match + raw low half, push
+    SubZzzx = 0b01, //!< only the low byte is non-zero
+    SubMmmx = 0b10  //!< upper-24-bit match + raw low byte, push
+};
+
+/** FIFO dictionary shared (in structure) by both directions. */
+class Dictionary
+{
+  public:
+    std::uint32_t entry(unsigned i) const { return entries_[i]; }
+    unsigned size() const { return count_; }
+
+    void
+    push(std::uint32_t word)
+    {
+        entries_[next_] = word;
+        next_ = (next_ + 1) % CPackCompressor::dictionarySize;
+        if (count_ < CPackCompressor::dictionarySize)
+            ++count_;
+    }
+
+    /** Best match index and kind for @p word; -1 if no useful match. */
+    int
+    findFull(std::uint32_t word) const
+    {
+        for (unsigned i = 0; i < count_; ++i)
+            if (entries_[i] == word)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    int
+    findUpper24(std::uint32_t word) const
+    {
+        for (unsigned i = 0; i < count_; ++i)
+            if ((entries_[i] & 0xffffff00u) == (word & 0xffffff00u))
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    int
+    findUpper16(std::uint32_t word) const
+    {
+        for (unsigned i = 0; i < count_; ++i)
+            if ((entries_[i] & 0xffff0000u) == (word & 0xffff0000u))
+                return static_cast<int>(i);
+        return -1;
+    }
+
+  private:
+    std::array<std::uint32_t, CPackCompressor::dictionarySize>
+        entries_{};
+    unsigned next_ = 0;
+    unsigned count_ = 0;
+};
+
+std::uint32_t
+readWord(const BlockData &data, unsigned i)
+{
+    std::uint32_t w;
+    std::memcpy(&w, data.data() + 4u * i, 4);
+    return w;
+}
+
+} // anonymous namespace
+
+std::vector<std::uint8_t>
+CPackCompressor::compress(const BlockData &data) const
+{
+    BitWriter writer;
+    Dictionary dict;
+
+    for (unsigned i = 0; i < wordsPerBlock; ++i) {
+        const std::uint32_t word = readWord(data, i);
+
+        if (word == 0) {
+            writer.write(Zzzz, 2);
+            continue;
+        }
+        if ((word & 0xffffff00u) == 0) {
+            writer.write(LongPrefix, 2);
+            writer.write(SubZzzx, 2);
+            writer.write(word & 0xff, 8);
+            continue;
+        }
+        int idx = dict.findFull(word);
+        if (idx >= 0) {
+            writer.write(Mmmm, 2);
+            writer.write(static_cast<std::uint64_t>(idx), 4);
+            continue;
+        }
+        idx = dict.findUpper24(word);
+        if (idx >= 0) {
+            writer.write(LongPrefix, 2);
+            writer.write(SubMmmx, 2);
+            writer.write(static_cast<std::uint64_t>(idx), 4);
+            writer.write(word & 0xff, 8);
+            dict.push(word);
+            continue;
+        }
+        idx = dict.findUpper16(word);
+        if (idx >= 0) {
+            writer.write(LongPrefix, 2);
+            writer.write(SubMmxx, 2);
+            writer.write(static_cast<std::uint64_t>(idx), 4);
+            writer.write(word & 0xffff, 16);
+            dict.push(word);
+            continue;
+        }
+        writer.write(Xxxx, 2);
+        writer.write(word, 32);
+        dict.push(word);
+    }
+
+    if (1 + writer.byteCount() >= blockBytes)
+        return { data.begin(), data.end() };
+
+    std::vector<std::uint8_t> ecb;
+    ecb.reserve(1 + writer.byteCount());
+    ecb.push_back(cpackHeader);
+    ecb.insert(ecb.end(), writer.bytes().begin(), writer.bytes().end());
+    return ecb;
+}
+
+unsigned
+CPackCompressor::ecbSize(const BlockData &data) const
+{
+    return static_cast<unsigned>(compress(data).size());
+}
+
+BlockData
+CPackCompressor::decompress(std::span<const std::uint8_t> ecb) const
+{
+    BlockData data{};
+    if (ecb.size() == blockBytes) {
+        std::memcpy(data.data(), ecb.data(), blockBytes);
+        return data;
+    }
+
+    HLLC_ASSERT(!ecb.empty() && ecb[0] == cpackHeader,
+                "not a C-Pack image");
+    const std::vector<std::uint8_t> bits(ecb.begin() + 1, ecb.end());
+    BitReader reader(bits);
+    Dictionary dict;
+
+    for (unsigned i = 0; i < wordsPerBlock; ++i) {
+        std::uint32_t word = 0;
+        const auto first = static_cast<unsigned>(reader.read(2));
+        if (first == Zzzz) {
+            word = 0;
+        } else if (first == Xxxx) {
+            word = static_cast<std::uint32_t>(reader.read(32));
+            dict.push(word);
+        } else if (first == Mmmm) {
+            const auto idx = static_cast<unsigned>(reader.read(4));
+            word = dict.entry(idx);
+        } else {
+            // 11 prefix: 2-bit subcode dispatch.
+            const auto sub = static_cast<unsigned>(reader.read(2));
+            if (sub == SubMmxx) {
+                const auto idx = static_cast<unsigned>(reader.read(4));
+                const auto low =
+                    static_cast<std::uint32_t>(reader.read(16));
+                word = (dict.entry(idx) & 0xffff0000u) | low;
+                dict.push(word);
+            } else if (sub == SubZzzx) {
+                word = static_cast<std::uint32_t>(reader.read(8));
+            } else if (sub == SubMmmx) {
+                const auto idx = static_cast<unsigned>(reader.read(4));
+                const auto low =
+                    static_cast<std::uint32_t>(reader.read(8));
+                word = (dict.entry(idx) & 0xffffff00u) | low;
+                dict.push(word);
+            } else {
+                panic("invalid C-Pack subcode");
+            }
+        }
+        std::memcpy(data.data() + 4u * i, &word, 4);
+    }
+    return data;
+}
+
+} // namespace hllc::compression

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * C-Pack (Chen et al.): dictionary-based cache compression for 64-byte
+ * blocks.
+ *
+ * Words are matched against a 16-entry FIFO dictionary; zero words,
+ * full matches, partial (upper 24-/16-bit) matches and low-byte-only
+ * words get short codes, everything else is emitted raw and pushed into
+ * the dictionary. Compressor and decompressor maintain identical
+ * dictionary state, so the stream is self-contained. Stored image:
+ * 1-byte header + packed bitstream; raw 64-byte fallback.
+ */
+
+#ifndef HLLC_COMPRESSION_CPACK_HH
+#define HLLC_COMPRESSION_CPACK_HH
+
+#include "compression/compressor.hh"
+
+namespace hllc::compression
+{
+
+class CPackCompressor : public BlockCompressor
+{
+  public:
+    Scheme scheme() const override { return Scheme::CPack; }
+    unsigned ecbSize(const BlockData &data) const override;
+    std::vector<std::uint8_t>
+    compress(const BlockData &data) const override;
+    BlockData
+    decompress(std::span<const std::uint8_t> ecb) const override;
+    Cycle decompressionCycles() const override { return 8; }
+
+    /** Dictionary entries (words). */
+    static constexpr unsigned dictionarySize = 16;
+};
+
+} // namespace hllc::compression
+
+#endif // HLLC_COMPRESSION_CPACK_HH

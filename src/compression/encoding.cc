@@ -1,0 +1,100 @@
+#include "compression/encoding.hh"
+
+#include "common/logging.hh"
+
+namespace hllc::compression
+{
+
+namespace
+{
+
+constexpr unsigned
+cbBytesFor(unsigned base, unsigned delta)
+{
+    // base value + one delta per remaining value in the 64-byte block
+    return base + (blockBytes / base - 1) * delta;
+}
+
+constexpr std::array<CeInfo, numCe> g_table = {{
+    { Ce::Zeros, "Zeros", 0, 0, 1, 2 },
+    { Ce::Rep8, "Rep8", 8, 0, 8, 9 },
+    { Ce::B8D1, "B8D1", 8, 1, cbBytesFor(8, 1), cbBytesFor(8, 1) + 1 },
+    { Ce::B8D2, "B8D2", 8, 2, cbBytesFor(8, 2), cbBytesFor(8, 2) + 1 },
+    { Ce::B8D3, "B8D3", 8, 3, cbBytesFor(8, 3), cbBytesFor(8, 3) + 1 },
+    { Ce::B8D4, "B8D4", 8, 4, cbBytesFor(8, 4), cbBytesFor(8, 4) + 1 },
+    { Ce::B8D5, "B8D5", 8, 5, cbBytesFor(8, 5), cbBytesFor(8, 5) + 1 },
+    { Ce::B8D6, "B8D6", 8, 6, cbBytesFor(8, 6), cbBytesFor(8, 6) + 1 },
+    { Ce::B8D7, "B8D7", 8, 7, cbBytesFor(8, 7), cbBytesFor(8, 7) + 1 },
+    { Ce::B4D1, "B4D1", 4, 1, cbBytesFor(4, 1), cbBytesFor(4, 1) + 1 },
+    { Ce::B4D2, "B4D2", 4, 2, cbBytesFor(4, 2), cbBytesFor(4, 2) + 1 },
+    { Ce::B4D3, "B4D3", 4, 3, cbBytesFor(4, 3), cbBytesFor(4, 3) + 1 },
+    { Ce::B2D1, "B2D1", 2, 1, cbBytesFor(2, 1), cbBytesFor(2, 1) + 1 },
+    { Ce::Uncompressed, "Uncompressed", 0, 0, blockBytes, blockBytes },
+}};
+
+// Compile-time checks that the table reproduces the paper's sizes.
+static_assert(g_table[static_cast<std::size_t>(Ce::B8D3)].ecbBytes == 30);
+static_assert(g_table[static_cast<std::size_t>(Ce::B8D4)].ecbBytes == 37);
+static_assert(g_table[static_cast<std::size_t>(Ce::B8D5)].ecbBytes == 44);
+static_assert(g_table[static_cast<std::size_t>(Ce::B8D6)].ecbBytes == 51);
+static_assert(g_table[static_cast<std::size_t>(Ce::B8D7)].ecbBytes == 58);
+static_assert(g_table[static_cast<std::size_t>(Ce::B2D1)].ecbBytes == 34);
+
+} // anonymous namespace
+
+const std::array<CeInfo, numCe> &
+ceTable()
+{
+    return g_table;
+}
+
+const CeInfo &
+ceInfo(Ce ce)
+{
+    const auto idx = static_cast<std::size_t>(ce);
+    HLLC_ASSERT(idx < numCe);
+    return g_table[idx];
+}
+
+unsigned
+ecbSize(Ce ce)
+{
+    return ceInfo(ce).ecbBytes;
+}
+
+CompressClass
+classify(unsigned ecb_bytes)
+{
+    if (ecb_bytes <= hcrThresholdBytes)
+        return CompressClass::Hcr;
+    if (ecb_bytes < blockBytes)
+        return CompressClass::Lcr;
+    return CompressClass::Incompressible;
+}
+
+std::string_view
+compressClassName(CompressClass c)
+{
+    switch (c) {
+      case CompressClass::Hcr:
+        return "HCR";
+      case CompressClass::Lcr:
+        return "LCR";
+      case CompressClass::Incompressible:
+        return "INC";
+    }
+    return "?";
+}
+
+const std::vector<unsigned> &
+cpthCandidates()
+{
+    // Distinct ECB sizes in [30, 64]; B4D2 (35) and B4D3 (50) collapse
+    // onto their 1-byte neighbours in the paper's sweep, giving the seven
+    // published CPth points.
+    static const std::vector<unsigned> candidates =
+        { 30, 34, 37, 44, 51, 58, 64 };
+    return candidates;
+}
+
+} // namespace hllc::compression

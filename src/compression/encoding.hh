@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Compression encodings (CE) of the modified Base-Delta-Immediate scheme
+ * used by the hybrid LLC (paper Table I).
+ *
+ * Unlike the original BDI proposal, the low-compression-ratio encodings
+ * (B8D5..B8D7, B4D3) are kept: they let frames with only a few faulty
+ * bytes hold blocks that cannot be compressed further. The extended
+ * compressed block (ECB) is the compressed payload (CB) plus a 1-byte
+ * header carrying the 4-bit CE id; the 11-bit SECDED code of the (527,516)
+ * Hamming protection lives in a dedicated per-frame ECC field and is not
+ * subject to byte disabling, so it does not count towards the ECB size.
+ *
+ * Resulting ECB sizes reproduce the paper's thresholds exactly: the
+ * HCR/LCR boundary at 37 B (B8D4), B8D7 fitting a frame with up to six
+ * dead bytes (58 B), and the CPth sweep points {30, 34, 37, 44, 51, 58,
+ * 64}.
+ */
+
+#ifndef HLLC_COMPRESSION_ENCODING_HH
+#define HLLC_COMPRESSION_ENCODING_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hllc::compression
+{
+
+/** The 4-bit compression-encoding identifier. */
+enum class Ce : std::uint8_t
+{
+    Zeros = 0,      //!< all-zero block
+    Rep8,           //!< a single repeated 8-byte value
+    B8D1,           //!< 8-byte base, 1-byte deltas
+    B8D2,
+    B8D3,
+    B8D4,
+    B8D5,           //!< low-compression encodings kept by the
+    B8D6,           //!< modified BDI (paper Sec. II-B)
+    B8D7,
+    B4D1,           //!< 4-byte base, 1..3-byte deltas
+    B4D2,
+    B4D3,
+    B2D1,           //!< 2-byte base, 1-byte deltas
+    Uncompressed,
+    NumCe
+};
+
+/** Number of distinct encodings (including Uncompressed). */
+inline constexpr std::size_t numCe =
+    static_cast<std::size_t>(Ce::NumCe);
+
+/** Static properties of one compression encoding. */
+struct CeInfo
+{
+    Ce ce;                      //!< encoding id
+    std::string_view name;      //!< printable name, e.g. "B8D2"
+    unsigned baseBytes;         //!< base value width (0 for special CEs)
+    unsigned deltaBytes;        //!< delta width (0 for special CEs)
+    unsigned cbBytes;           //!< compressed-block payload size
+    unsigned ecbBytes;          //!< CB + 1-byte CE header
+};
+
+/** Property table indexed by CE id (paper Table I). */
+const std::array<CeInfo, numCe> &ceTable();
+
+/** Properties of encoding @p ce. */
+const CeInfo &ceInfo(Ce ce);
+
+/** ECB size in bytes of a block compressed with @p ce. */
+unsigned ecbSize(Ce ce);
+
+/**
+ * HCR/LCR boundary: blocks whose ECB size is <= this are
+ * high-compression-ratio blocks (paper Sec. II-B).
+ */
+inline constexpr unsigned hcrThresholdBytes = 37;
+
+/** Coarse compressibility class of a block. */
+enum class CompressClass { Hcr, Lcr, Incompressible };
+
+/** Classify an ECB size into HCR / LCR / incompressible. */
+CompressClass classify(unsigned ecb_bytes);
+
+/** Printable name of a compressibility class. */
+std::string_view compressClassName(CompressClass c);
+
+/**
+ * The candidate compression thresholds the Set Dueling mechanism arbitrates
+ * between: the distinct ECB sizes in [30, 64] (paper Sec. IV-C).
+ */
+const std::vector<unsigned> &cpthCandidates();
+
+} // namespace hllc::compression
+
+#endif // HLLC_COMPRESSION_ENCODING_HH

@@ -1,0 +1,232 @@
+#include "compression/fpc.hh"
+
+#include <cstring>
+
+#include "common/bitstream.hh"
+#include "common/logging.hh"
+
+namespace hllc::compression
+{
+
+namespace
+{
+
+constexpr unsigned wordsPerBlock = blockBytes / 4;
+constexpr std::uint8_t fpcHeader = 0x46; // 'F'
+
+std::uint32_t
+readWord(const BlockData &data, unsigned i)
+{
+    std::uint32_t w;
+    std::memcpy(&w, data.data() + 4u * i, 4);
+    return w;
+}
+
+void
+writeWord(BlockData &data, unsigned i, std::uint32_t w)
+{
+    std::memcpy(data.data() + 4u * i, &w, 4);
+}
+
+bool
+fitsSigned(std::int32_t v, unsigned bits)
+{
+    const std::int32_t bound = std::int32_t{1} << (bits - 1);
+    return v >= -bound && v < bound;
+}
+
+} // anonymous namespace
+
+FpcCompressor::Pattern
+FpcCompressor::classifyWord(std::uint32_t word)
+{
+    const auto sw = static_cast<std::int32_t>(word);
+    if (word == 0)
+        return ZeroRun;
+    if (fitsSigned(sw, 4))
+        return SignExt4;
+    if (fitsSigned(sw, 8))
+        return SignExt8;
+    const std::uint8_t b0 = word & 0xff;
+    if (((word >> 8) & 0xff) == b0 && ((word >> 16) & 0xff) == b0 &&
+        ((word >> 24) & 0xff) == b0) {
+        return RepeatedBytes;
+    }
+    if (fitsSigned(sw, 16))
+        return SignExt16;
+    if ((word & 0xffff) == 0)
+        return HalfwordPadded;
+    const auto lo = static_cast<std::int16_t>(word & 0xffff);
+    const auto hi = static_cast<std::int16_t>(word >> 16);
+    if (fitsSigned(lo, 8) && fitsSigned(hi, 8))
+        return TwoHalfwords;
+    return Uncompressed;
+}
+
+unsigned
+FpcCompressor::payloadBits(Pattern pattern)
+{
+    switch (pattern) {
+      case ZeroRun:
+        return 3; // run length - 1
+      case SignExt4:
+        return 4;
+      case SignExt8:
+        return 8;
+      case SignExt16:
+        return 16;
+      case HalfwordPadded:
+        return 16;
+      case TwoHalfwords:
+        return 16;
+      case RepeatedBytes:
+        return 8;
+      case Uncompressed:
+        return 32;
+    }
+    return 32;
+}
+
+std::vector<std::uint8_t>
+FpcCompressor::compress(const BlockData &data) const
+{
+    BitWriter writer;
+
+    unsigned i = 0;
+    while (i < wordsPerBlock) {
+        const std::uint32_t word = readWord(data, i);
+        const Pattern pattern = classifyWord(word);
+
+        writer.write(pattern, 3);
+        switch (pattern) {
+          case ZeroRun: {
+            unsigned run = 1;
+            while (run < 8 && i + run < wordsPerBlock &&
+                   readWord(data, i + run) == 0) {
+                ++run;
+            }
+            writer.write(run - 1, 3);
+            i += run;
+            continue;
+          }
+          case SignExt4:
+            writer.write(word & 0xf, 4);
+            break;
+          case SignExt8:
+            writer.write(word & 0xff, 8);
+            break;
+          case SignExt16:
+            writer.write(word & 0xffff, 16);
+            break;
+          case HalfwordPadded:
+            writer.write(word >> 16, 16);
+            break;
+          case TwoHalfwords:
+            writer.write(word & 0xff, 8);
+            writer.write((word >> 16) & 0xff, 8);
+            break;
+          case RepeatedBytes:
+            writer.write(word & 0xff, 8);
+            break;
+          case Uncompressed:
+            writer.write(word, 32);
+            break;
+        }
+        ++i;
+    }
+
+    // 1-byte header + packed bits; fall back to raw storage when the
+    // compressed image is not strictly smaller than the block.
+    if (1 + writer.byteCount() >= blockBytes)
+        return { data.begin(), data.end() };
+
+    std::vector<std::uint8_t> ecb;
+    ecb.reserve(1 + writer.byteCount());
+    ecb.push_back(fpcHeader);
+    ecb.insert(ecb.end(), writer.bytes().begin(), writer.bytes().end());
+    return ecb;
+}
+
+unsigned
+FpcCompressor::ecbSize(const BlockData &data) const
+{
+    return static_cast<unsigned>(compress(data).size());
+}
+
+BlockData
+FpcCompressor::decompress(std::span<const std::uint8_t> ecb) const
+{
+    BlockData data{};
+    if (ecb.size() == blockBytes) {
+        std::memcpy(data.data(), ecb.data(), blockBytes);
+        return data;
+    }
+
+    HLLC_ASSERT(!ecb.empty() && ecb[0] == fpcHeader,
+                "not an FPC image");
+    const std::vector<std::uint8_t> bits(ecb.begin() + 1, ecb.end());
+    BitReader reader(bits);
+
+    unsigned i = 0;
+    while (i < wordsPerBlock) {
+        const auto pattern = static_cast<Pattern>(reader.read(3));
+        switch (pattern) {
+          case ZeroRun: {
+            const unsigned run =
+                static_cast<unsigned>(reader.read(3)) + 1;
+            HLLC_ASSERT(i + run <= wordsPerBlock);
+            i += run; // words already zero-initialised
+            continue;
+          }
+          case SignExt4: {
+            const auto v = static_cast<std::uint32_t>(reader.read(4));
+            writeWord(data, i, static_cast<std::uint32_t>(
+                                   (static_cast<std::int32_t>(v << 28))
+                                   >> 28));
+            break;
+          }
+          case SignExt8: {
+            const auto v = static_cast<std::uint32_t>(reader.read(8));
+            writeWord(data, i, static_cast<std::uint32_t>(
+                                   (static_cast<std::int32_t>(v << 24))
+                                   >> 24));
+            break;
+          }
+          case SignExt16: {
+            const auto v = static_cast<std::uint32_t>(reader.read(16));
+            writeWord(data, i, static_cast<std::uint32_t>(
+                                   (static_cast<std::int32_t>(v << 16))
+                                   >> 16));
+            break;
+          }
+          case HalfwordPadded:
+            writeWord(data, i,
+                      static_cast<std::uint32_t>(reader.read(16)) << 16);
+            break;
+          case TwoHalfwords: {
+            const auto lo = static_cast<std::uint32_t>(reader.read(8));
+            const auto hi = static_cast<std::uint32_t>(reader.read(8));
+            const auto lo_se = static_cast<std::uint16_t>(
+                (static_cast<std::int16_t>(lo << 8)) >> 8);
+            const auto hi_se = static_cast<std::uint16_t>(
+                (static_cast<std::int16_t>(hi << 8)) >> 8);
+            writeWord(data, i,
+                      (static_cast<std::uint32_t>(hi_se) << 16) | lo_se);
+            break;
+          }
+          case RepeatedBytes: {
+            const auto b = static_cast<std::uint32_t>(reader.read(8));
+            writeWord(data, i, b | (b << 8) | (b << 16) | (b << 24));
+            break;
+          }
+          case Uncompressed:
+            writeWord(data, i,
+                      static_cast<std::uint32_t>(reader.read(32)));
+            break;
+        }
+        ++i;
+    }
+    return data;
+}
+
+} // namespace hllc::compression

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Frequent Pattern Compression (Alameldeen & Wood) for 64-byte blocks.
+ *
+ * Each 32-bit word is encoded with a 3-bit prefix and a variable-size
+ * payload; runs of zero words collapse into a single prefix with a
+ * 3-bit run length. The stored image is a 1-byte header followed by the
+ * packed bitstream; blocks whose compressed image would not fit the
+ * frame are stored raw (64 bytes).
+ */
+
+#ifndef HLLC_COMPRESSION_FPC_HH
+#define HLLC_COMPRESSION_FPC_HH
+
+#include "compression/compressor.hh"
+
+namespace hllc::compression
+{
+
+class FpcCompressor : public BlockCompressor
+{
+  public:
+    /** FPC word patterns (the 3-bit prefixes). */
+    enum Pattern : std::uint8_t
+    {
+        ZeroRun = 0,        //!< run of 1..8 zero words
+        SignExt4 = 1,       //!< 4-bit sign-extended word
+        SignExt8 = 2,       //!< 8-bit sign-extended word
+        SignExt16 = 3,      //!< 16-bit sign-extended word
+        HalfwordPadded = 4, //!< upper halfword, lower zeros
+        TwoHalfwords = 5,   //!< two sign-extended-byte halfwords
+        RepeatedBytes = 6,  //!< four identical bytes
+        Uncompressed = 7    //!< raw 32-bit word
+    };
+
+    Scheme scheme() const override { return Scheme::Fpc; }
+    unsigned ecbSize(const BlockData &data) const override;
+    std::vector<std::uint8_t>
+    compress(const BlockData &data) const override;
+    BlockData
+    decompress(std::span<const std::uint8_t> ecb) const override;
+    Cycle decompressionCycles() const override { return 5; }
+
+    /** Cheapest pattern covering @p word (ZeroRun only for zero). */
+    static Pattern classifyWord(std::uint32_t word);
+
+    /** Payload bits of @p pattern (excluding the 3-bit prefix). */
+    static unsigned payloadBits(Pattern pattern);
+};
+
+} // namespace hllc::compression
+
+#endif // HLLC_COMPRESSION_FPC_HH

@@ -1,0 +1,23 @@
+#include "fault/endurance.hh"
+
+#include "common/logging.hh"
+
+namespace hllc::fault
+{
+
+EnduranceModel::EnduranceModel(const NvmGeometry &geometry,
+                               const EnduranceParams &params,
+                               Xoshiro256StarStar rng)
+    : geometry_(geometry), params_(params)
+{
+    HLLC_ASSERT(geometry.numSets > 0 && geometry.numNvmWays > 0);
+    HLLC_ASSERT(params.meanWrites > 0.0 && params.cv >= 0.0);
+
+    limits_.resize(geometry.numBytes());
+    for (auto &limit : limits_) {
+        limit = static_cast<float>(
+            rng.nextNormalCv(params.meanWrites, params.cv));
+    }
+}
+
+} // namespace hllc::fault

@@ -1,0 +1,71 @@
+#include "fault/rearrangement.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace hllc::fault
+{
+
+std::array<int, blockBytes>
+RearrangementCircuit::indexVector(std::uint64_t live_mask,
+                                  unsigned rotation, unsigned n)
+{
+    HLLC_ASSERT(rotation < blockBytes);
+    HLLC_ASSERT(n <= static_cast<unsigned>(std::popcount(live_mask)),
+                "ECB (%u B) larger than frame's live capacity (%d B)",
+                n, std::popcount(live_mask));
+
+    std::array<int, blockBytes> index;
+    index.fill(noByte);
+
+    unsigned placed = 0;
+    for (unsigned step = 0; step < blockBytes && placed < n; ++step) {
+        const unsigned pos = (rotation + step) % blockBytes;
+        if (live_mask & (std::uint64_t{1} << pos))
+            index[pos] = static_cast<int>(placed++);
+    }
+    return index;
+}
+
+ScatterResult
+RearrangementCircuit::scatter(std::span<const std::uint8_t> ecb,
+                              std::uint64_t live_mask, unsigned rotation)
+{
+    const auto n = static_cast<unsigned>(ecb.size());
+    const auto index = indexVector(live_mask, rotation, n);
+
+    ScatterResult result;
+    result.recb.fill(0);
+    result.writeMask = 0;
+    result.writtenBytes.resize(n);
+
+    for (unsigned pos = 0; pos < blockBytes; ++pos) {
+        const int j = index[pos];
+        if (j == noByte)
+            continue;
+        result.recb[pos] = ecb[static_cast<unsigned>(j)];
+        result.writeMask |= std::uint64_t{1} << pos;
+        result.writtenBytes[static_cast<unsigned>(j)] =
+            static_cast<std::uint8_t>(pos);
+    }
+    return result;
+}
+
+std::vector<std::uint8_t>
+RearrangementCircuit::gather(std::span<const std::uint8_t, blockBytes> recb,
+                             std::uint64_t live_mask, unsigned rotation,
+                             unsigned n)
+{
+    const auto index = indexVector(live_mask, rotation, n);
+
+    std::vector<std::uint8_t> ecb(n, 0);
+    for (unsigned pos = 0; pos < blockBytes; ++pos) {
+        const int j = index[pos];
+        if (j != noByte)
+            ecb[static_cast<unsigned>(j)] = recb[pos];
+    }
+    return ecb;
+}
+
+} // namespace hllc::fault

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Block rearrangement circuitry (paper Fig. 5, after [15]).
+ *
+ * Writing: the index generator derives, from the frame's fault map and the
+ * global wear-leveling counter, an index vector I[] that scatters the n
+ * bytes of the ECB over the frame's live bytes, starting at the rotation
+ * offset; a crossbar applies it, and a write mask enables only the target
+ * bytes. Reading re-derives the same index vector and gathers the ECB back
+ * out of the sparse frame image (RECB).
+ *
+ * This is a functional model of the synthesised circuit; its published
+ * latency (0.33/0.38 ns write/read) is folded into the NVM access latency
+ * by the timing layer.
+ */
+
+#ifndef HLLC_FAULT_REARRANGEMENT_HH
+#define HLLC_FAULT_REARRANGEMENT_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hllc::fault
+{
+
+/** Index vector entry meaning "no ECB byte stored here". */
+inline constexpr int noByte = -1;
+
+/** Result of scattering an ECB into a (possibly faulty) frame. */
+struct ScatterResult
+{
+    /** Frame image; bytes not covered by the write mask are untouched. */
+    std::array<std::uint8_t, blockBytes> recb;
+    /** Bit i set = frame byte i written. */
+    std::uint64_t writeMask;
+    /** Frame byte positions written, in ECB order (wear accounting). */
+    std::vector<std::uint8_t> writtenBytes;
+};
+
+class RearrangementCircuit
+{
+  public:
+    /**
+     * Compute the index vector: for each frame byte position, which ECB
+     * byte lands there (or noByte). ECB byte j is stored in the (j+1)-th
+     * live byte encountered scanning circularly from @p rotation.
+     *
+     * @param live_mask frame's live-byte mask
+     * @param rotation wear-leveling counter value
+     * @param n ECB size in bytes; must not exceed popcount(live_mask)
+     */
+    static std::array<int, blockBytes>
+    indexVector(std::uint64_t live_mask, unsigned rotation, unsigned n);
+
+    /** Scatter @p ecb into a frame with @p live_mask at @p rotation. */
+    static ScatterResult
+    scatter(std::span<const std::uint8_t> ecb, std::uint64_t live_mask,
+            unsigned rotation);
+
+    /**
+     * Gather an @p n-byte ECB back from the sparse frame image @p recb.
+     * Must be called with the same live mask and rotation used to scatter.
+     */
+    static std::vector<std::uint8_t>
+    gather(std::span<const std::uint8_t, blockBytes> recb,
+           std::uint64_t live_mask, unsigned rotation, unsigned n);
+};
+
+} // namespace hllc::fault
+
+#endif // HLLC_FAULT_REARRANGEMENT_HH

@@ -1,0 +1,135 @@
+#include "fault/secded.hh"
+
+#include "common/logging.hh"
+
+namespace hllc::fault
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(unsigned x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+unsigned
+checkBitsFor(unsigned data_bits)
+{
+    // Smallest r with 2^r >= data_bits + r + 1.
+    unsigned r = 0;
+    while ((1u << r) < data_bits + r + 1)
+        ++r;
+    return r;
+}
+
+} // anonymous namespace
+
+SecdedCodec::SecdedCodec(unsigned data_bits)
+    : dataBits_(data_bits), checkBits_(checkBitsFor(data_bits))
+{
+    HLLC_ASSERT(data_bits > 0);
+}
+
+std::vector<std::uint8_t>
+SecdedCodec::encode(const std::vector<std::uint8_t> &data) const
+{
+    HLLC_ASSERT(data.size() == dataBits_,
+                "expected %u data bits, got %zu", dataBits_, data.size());
+
+    const unsigned hamming_bits = dataBits_ + checkBits_;
+    // Index 0 holds the overall parity; 1..hamming_bits is the classic
+    // Hamming layout with check bits at power-of-two positions.
+    std::vector<std::uint8_t> cw(hamming_bits + 1, 0);
+
+    unsigned next_data = 0;
+    for (unsigned pos = 1; pos <= hamming_bits; ++pos) {
+        if (!isPowerOfTwo(pos))
+            cw[pos] = data[next_data++] & 1;
+    }
+    HLLC_ASSERT(next_data == dataBits_);
+
+    for (unsigned c = 0; c < checkBits_; ++c) {
+        const unsigned p = 1u << c;
+        std::uint8_t parity = 0;
+        for (unsigned pos = 1; pos <= hamming_bits; ++pos) {
+            if ((pos & p) && pos != p)
+                parity ^= cw[pos];
+        }
+        cw[p] = parity;
+    }
+
+    std::uint8_t overall = 0;
+    for (unsigned pos = 1; pos <= hamming_bits; ++pos)
+        overall ^= cw[pos];
+    cw[0] = overall;
+
+    return cw;
+}
+
+SecdedDecode
+SecdedCodec::decode(std::vector<std::uint8_t> codeword) const
+{
+    const unsigned hamming_bits = dataBits_ + checkBits_;
+    HLLC_ASSERT(codeword.size() == hamming_bits + 1,
+                "expected %u codeword bits, got %zu",
+                hamming_bits + 1, codeword.size());
+
+    unsigned syndrome = 0;
+    for (unsigned c = 0; c < checkBits_; ++c) {
+        const unsigned p = 1u << c;
+        std::uint8_t parity = 0;
+        for (unsigned pos = 1; pos <= hamming_bits; ++pos) {
+            if (pos & p)
+                parity ^= codeword[pos];
+        }
+        if (parity)
+            syndrome |= p;
+    }
+
+    std::uint8_t overall = 0;
+    for (unsigned pos = 0; pos <= hamming_bits; ++pos)
+        overall ^= codeword[pos];
+
+    SecdedDecode result;
+    result.correctedBit = -1;
+
+    if (syndrome == 0 && overall == 0) {
+        result.status = SecdedStatus::Ok;
+    } else if (overall != 0) {
+        // Odd number of flipped bits: assume one, repairable.
+        if (syndrome == 0) {
+            codeword[0] ^= 1;
+            result.correctedBit = 0;
+        } else if (syndrome <= hamming_bits) {
+            codeword[syndrome] ^= 1;
+            result.correctedBit = static_cast<int>(syndrome);
+        } else {
+            // Syndrome points outside the codeword: >1 flipped bit.
+            result.status = SecdedStatus::Uncorrectable;
+            return result;
+        }
+        result.status = SecdedStatus::Corrected;
+    } else {
+        // Even number of errors, non-zero syndrome: double error.
+        result.status = SecdedStatus::Uncorrectable;
+        return result;
+    }
+
+    result.data.reserve(dataBits_);
+    for (unsigned pos = 1; pos <= hamming_bits; ++pos) {
+        if (!isPowerOfTwo(pos))
+            result.data.push_back(codeword[pos]);
+    }
+    return result;
+}
+
+const SecdedCodec &
+llcSecdedCodec()
+{
+    static const SecdedCodec codec(llcSecdedDataBits);
+    return codec;
+}
+
+} // namespace hllc::fault

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Hamming SECDED codec used by the NVM data array (paper Sec. III-B).
+ *
+ * The paper protects the combined CE + compressed-block vector with a
+ * (527, 516) Hamming code: 516 data bits (512 payload + 4-bit CE), 10
+ * Hamming check bits and one overall parity bit, giving single-error
+ * correction and double-error detection. The codec here is a real,
+ * bit-accurate implementation over arbitrary data widths; (527, 516) is
+ * just its instantiation for 516 data bits.
+ */
+
+#ifndef HLLC_FAULT_SECDED_HH
+#define HLLC_FAULT_SECDED_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hllc::fault
+{
+
+/** Outcome of a SECDED decode. */
+enum class SecdedStatus
+{
+    Ok,             //!< no error detected
+    Corrected,      //!< single-bit error found and repaired
+    Uncorrectable   //!< double-bit error detected
+};
+
+/** Result of decoding a codeword. */
+struct SecdedDecode
+{
+    SecdedStatus status;
+    std::vector<std::uint8_t> data;  //!< one bit per element (0/1)
+    int correctedBit;                //!< codeword position fixed, or -1
+};
+
+/**
+ * Hamming SECDED codec for a fixed data width. Bits are handled as
+ * unpacked 0/1 bytes; this is a verification model, not a fast path.
+ */
+class SecdedCodec
+{
+  public:
+    /** @param data_bits number of payload bits (516 for the LLC). */
+    explicit SecdedCodec(unsigned data_bits);
+
+    unsigned dataBits() const { return dataBits_; }
+    /** Hamming check bits (10 for 516 data bits). */
+    unsigned checkBits() const { return checkBits_; }
+    /** Total codeword bits including overall parity (527 for 516). */
+    unsigned codewordBits() const { return dataBits_ + checkBits_ + 1; }
+
+    /** Encode @p data (dataBits() 0/1 values) into a codeword. */
+    std::vector<std::uint8_t>
+    encode(const std::vector<std::uint8_t> &data) const;
+
+    /** Decode @p codeword, correcting up to one flipped bit. */
+    SecdedDecode decode(std::vector<std::uint8_t> codeword) const;
+
+  private:
+    unsigned dataBits_;
+    unsigned checkBits_;
+};
+
+/** Data bits protected by the LLC's code: 512 payload + 4-bit CE. */
+inline constexpr unsigned llcSecdedDataBits = 516;
+
+/** The (527, 516) codec instance used by the NVM data array. */
+const SecdedCodec &llcSecdedCodec();
+
+} // namespace hllc::fault
+
+#endif // HLLC_FAULT_SECDED_HH

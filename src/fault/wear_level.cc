@@ -1,0 +1,30 @@
+#include "fault/wear_level.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hllc::fault
+{
+
+WearLevelCounter::WearLevelCounter(Seconds period_seconds, unsigned modulo)
+    : period_(period_seconds), modulo_(modulo)
+{
+    HLLC_ASSERT(period_seconds > 0.0);
+    HLLC_ASSERT(modulo > 0);
+}
+
+void
+WearLevelCounter::elapse(Seconds seconds)
+{
+    HLLC_ASSERT(seconds >= 0.0);
+    accumulated_ += seconds;
+    const double steps = std::floor(accumulated_ / period_);
+    if (steps > 0.0) {
+        accumulated_ -= steps * period_;
+        value_ = static_cast<unsigned>(
+            (value_ + static_cast<std::uint64_t>(steps)) % modulo_);
+    }
+}
+
+} // namespace hllc::fault

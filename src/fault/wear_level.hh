@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Global intra-frame wear-leveling counter (paper Sec. III-B, after [24]).
+ *
+ * A single counter, shared by every set, selects the live byte at which
+ * each frame's write region starts. It advances after long periods (hours
+ * to days of simulated time) so the written region drifts over the frame
+ * and write wear is spread across all non-faulty bytes.
+ */
+
+#ifndef HLLC_FAULT_WEAR_LEVEL_HH
+#define HLLC_FAULT_WEAR_LEVEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace hllc::fault
+{
+
+class WearLevelCounter
+{
+  public:
+    /**
+     * @param period_seconds simulated time between advances
+     *        (default: 6 hours)
+     * @param modulo counter wraps at this value (frame bytes)
+     */
+    explicit WearLevelCounter(Seconds period_seconds = 6.0 * 3600.0,
+                              unsigned modulo = blockBytes);
+
+    /** Current rotation offset in [0, modulo). */
+    unsigned value() const { return value_; }
+
+    /** Manually advance by one position. */
+    void advance() { value_ = (value_ + 1) % modulo_; }
+
+    /**
+     * Account for @p seconds of simulated time; advances the counter once
+     * per elapsed period (catching up over long prediction jumps).
+     */
+    void elapse(Seconds seconds);
+
+    Seconds period() const { return period_; }
+
+  private:
+    Seconds period_;
+    unsigned modulo_;
+    unsigned value_ = 0;
+    Seconds accumulated_ = 0.0;
+};
+
+} // namespace hllc::fault
+
+#endif // HLLC_FAULT_WEAR_LEVEL_HH

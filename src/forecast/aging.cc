@@ -1,0 +1,69 @@
+#include "forecast/aging.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hllc::forecast
+{
+
+Seconds
+chooseAgingStep(const fault::FaultMap &map,
+                const fault::EnduranceModel &endurance,
+                Seconds window_seconds,
+                const AgingStepConfig &config)
+{
+    HLLC_ASSERT(window_seconds > 0.0);
+
+    const auto &geom = map.geometry();
+    std::vector<double> ttf;
+    ttf.reserve(4096);
+
+    for (std::uint32_t f = 0; f < geom.numFrames(); ++f) {
+        const double pending = map.pendingWrites(f);
+        if (pending <= 0.0)
+            continue;
+        const unsigned live = map.liveBytes(f);
+        if (live == 0)
+            continue;
+        // Wear leveling spreads the frame's traffic over its live bytes.
+        const double rate = pending / (live * window_seconds);
+        const std::uint64_t mask = map.liveMask(f);
+        for (unsigned b = 0; b < geom.frameBytes; ++b) {
+            if (!(mask & (std::uint64_t{1} << b)))
+                continue;
+            const double remaining =
+                endurance.limit(f, b) - map.writesSoFar(f, b);
+            ttf.push_back(remaining <= 0.0 ? 0.0 : remaining / rate);
+        }
+    }
+
+    if (ttf.empty())
+        return config.maxStep;
+
+    // Under frame disabling a single byte death retires 64 bytes, so the
+    // same capacity resolution needs 64x fewer byte deaths.
+    double kill_fraction = config.targetKillFraction;
+    if (map.granularity() == fault::DisableGranularity::Frame)
+        kill_fraction /= static_cast<double>(geom.frameBytes);
+
+    const auto total_bytes = static_cast<double>(geom.numBytes());
+    std::size_t k = static_cast<std::size_t>(kill_fraction * total_bytes);
+    if (k < 1)
+        k = 1;
+
+    Seconds step;
+    if (k >= ttf.size()) {
+        step = config.maxStep;
+    } else {
+        std::nth_element(ttf.begin(),
+                         ttf.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                         ttf.end());
+        step = ttf[k - 1];
+    }
+
+    return std::clamp(step, config.minStep, config.maxStep);
+}
+
+} // namespace hllc::forecast

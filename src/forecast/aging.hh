@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Prediction-phase step sizing for the forecasting procedure ([15],
+ * adapted in paper Sec. V-A).
+ *
+ * After a simulation phase measured per-frame byte-write rates over a
+ * window of W seconds, the predictor picks the time jump to the next
+ * interesting fault-map state: the instant at which roughly a target
+ * fraction of the NVM capacity will have worn out, bounded so the
+ * IPC/capacity curves keep enough resolution.
+ */
+
+#ifndef HLLC_FORECAST_AGING_HH
+#define HLLC_FORECAST_AGING_HH
+
+#include "common/types.hh"
+#include "fault/fault_map.hh"
+
+namespace hllc::forecast
+{
+
+/** Tunables of the prediction phase. */
+struct AgingStepConfig
+{
+    /** Capacity fraction targeted to wear out per step (~resolution). */
+    double targetKillFraction = 0.02;
+    /** Smallest jump (keeps progress when wear is extreme). */
+    Seconds minStep = 60.0;
+    /** Largest jump (keeps curve resolution when wear is negligible). */
+    Seconds maxStep = 3.0 * secondsPerMonth;
+};
+
+/**
+ * Choose the next prediction jump.
+ *
+ * @param map fault map holding pending (un-aged) writes and wear state
+ * @param endurance per-byte limits
+ * @param window_seconds wall-clock span the pending writes represent
+ * @return jump length in seconds, within [minStep, maxStep]
+ */
+Seconds chooseAgingStep(const fault::FaultMap &map,
+                        const fault::EnduranceModel &endurance,
+                        Seconds window_seconds,
+                        const AgingStepConfig &config);
+
+} // namespace hllc::forecast
+
+#endif // HLLC_FORECAST_AGING_HH

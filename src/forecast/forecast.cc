@@ -1,0 +1,183 @@
+#include "forecast/forecast.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hllc::forecast
+{
+
+using hierarchy::CoreActivity;
+using hierarchy::coreCycles;
+using hierarchy::coreIpc;
+using replay::LlcTrace;
+using replay::TraceReplayer;
+using replay::traceCores;
+
+PhaseAggregate
+replayAllTraces(const std::vector<const LlcTrace *> &traces,
+                hybrid::HybridLlc &llc,
+                const hierarchy::TimingParams &timing,
+                double warmup_fraction)
+{
+    TraceReplayer replayer(warmup_fraction);
+    const double measured_frac = 1.0 - warmup_fraction;
+
+    PhaseAggregate agg;
+    double ipc_sum = 0.0;
+    std::size_t ipc_count = 0;
+
+    for (const LlcTrace *trace : traces) {
+        const replay::ReplayResult res = replayer.replay(*trace, llc);
+
+        double trace_cycles = 0.0;
+        for (std::size_t c = 0; c < traceCores; ++c) {
+            const replay::CoreMeta &m = trace->meta().cores[c];
+            if (m.refs == 0)
+                continue;
+            CoreActivity a;
+            // Capture-wide private-level counts scaled to the measured
+            // window; LLC outcomes are exact for that window.
+            a.instructions = static_cast<std::uint64_t>(
+                static_cast<double>(m.instructions) * measured_frac);
+            a.refs = static_cast<std::uint64_t>(
+                static_cast<double>(m.refs) * measured_frac);
+            a.l1Hits = static_cast<std::uint64_t>(
+                static_cast<double>(m.l1Hits) * measured_frac);
+            a.l2Hits = static_cast<std::uint64_t>(
+                static_cast<double>(m.l2Hits) * measured_frac);
+            a.llcHitsSram = res.cores[c].llcHitsSram;
+            a.llcHitsNvm = res.cores[c].llcHitsNvm;
+            a.llcMisses = res.cores[c].llcMisses;
+            a.nvmWrites = res.cores[c].nvmWrites;
+            a.baseCpi = m.baseCpi;
+
+            ipc_sum += coreIpc(a, timing);
+            ++ipc_count;
+            trace_cycles += coreCycles(a, timing);
+        }
+        // Cores run in parallel: the window lasts about the mean core
+        // time; mixes are time-multiplexed onto the same LLC, so their
+        // windows add up.
+        agg.measuredSeconds += cyclesToSeconds(static_cast<Cycle>(
+            trace_cycles / static_cast<double>(traceCores)));
+
+        agg.demandHits += res.demandHits;
+        agg.demandAccesses += res.demandAccesses;
+        agg.nvmBytesWritten += res.nvmBytesWritten;
+    }
+
+    agg.meanIpc =
+        ipc_count == 0 ? 0.0 : ipc_sum / static_cast<double>(ipc_count);
+    agg.hitRate = agg.demandAccesses == 0
+        ? 0.0
+        : static_cast<double>(agg.demandHits) /
+          static_cast<double>(agg.demandAccesses);
+    return agg;
+}
+
+ForecastEngine::ForecastEngine(const fault::EnduranceModel &endurance,
+                               const hybrid::HybridLlcConfig &llc_config,
+                               std::vector<const LlcTrace *> traces,
+                               const hierarchy::TimingParams &timing,
+                               const ForecastConfig &config)
+    : endurance_(endurance), llcConfig_(llc_config),
+      traces_(std::move(traces)), timing_(timing), config_(config)
+{
+    HLLC_ASSERT(!traces_.empty(), "forecast needs at least one trace");
+    if (llcConfig_.nvmWays > 0) {
+        HLLC_ASSERT(endurance_.geometry().numSets == llcConfig_.numSets &&
+                    endurance_.geometry().numNvmWays == llcConfig_.nvmWays,
+                    "endurance geometry does not match LLC config");
+    }
+}
+
+ForecastPoint
+ForecastEngine::simulatePhase(hybrid::HybridLlc &llc,
+                              fault::FaultMap &map,
+                              Seconds now, Seconds &window_seconds)
+{
+    const PhaseAggregate agg = replayAllTraces(
+        traces_, llc, timing_, config_.warmupFraction);
+
+    // Pending wear covers the full replay (incl. warm-up); scale the
+    // measured span accordingly so rates stay consistent.
+    window_seconds =
+        agg.measuredSeconds / (1.0 - config_.warmupFraction);
+
+    ForecastPoint point;
+    point.time = now;
+    point.capacity =
+        llcConfig_.nvmWays == 0 ? 1.0 : map.effectiveCapacity();
+    point.meanIpc = agg.meanIpc;
+    point.hitRate = agg.hitRate;
+    point.nvmBytesPerSecond = agg.measuredSeconds <= 0.0
+        ? 0.0
+        : static_cast<double>(agg.nvmBytesWritten) / agg.measuredSeconds;
+    return point;
+}
+
+std::vector<ForecastPoint>
+ForecastEngine::run()
+{
+    const auto policy =
+        hybrid::InsertionPolicy::create(llcConfig_.policy,
+                                        llcConfig_.params);
+    fault::FaultMap map(endurance_, policy->granularity(),
+                        config_.wearDistribution);
+    hybrid::HybridLlc llc(llcConfig_,
+                          llcConfig_.nvmWays > 0 ? &map : nullptr);
+
+    std::vector<ForecastPoint> series;
+    Seconds now = 0.0;
+
+    for (std::size_t step = 0; step < config_.maxSteps; ++step) {
+        map.discardPending();
+        Seconds window_seconds = 0.0;
+        series.push_back(simulatePhase(llc, map, now, window_seconds));
+
+        const ForecastPoint &point = series.back();
+        if (point.capacity <= config_.capacityFloor ||
+            now >= config_.maxTime || llcConfig_.nvmWays == 0 ||
+            window_seconds <= 0.0) {
+            break;
+        }
+
+        // Prediction phase: jump to the next interesting wear state.
+        Seconds delta = chooseAgingStep(map, endurance_, window_seconds,
+                                        config_.aging);
+        delta = std::min(delta, config_.maxTime - now);
+        if (delta <= 0.0)
+            break;
+        map.age(delta / window_seconds);
+        now += delta;
+    }
+    return series;
+}
+
+double
+ForecastEngine::lifetimeMonths(const std::vector<ForecastPoint> &series,
+                               double capacity_floor)
+{
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (series[i].capacity > capacity_floor)
+            continue;
+        if (i == 0)
+            return 0.0;
+        const ForecastPoint &a = series[i - 1];
+        const ForecastPoint &b = series[i];
+        const double span = a.capacity - b.capacity;
+        const double frac =
+            span <= 0.0 ? 1.0 : (a.capacity - capacity_floor) / span;
+        return a.months() + frac * (b.months() - a.months());
+    }
+    return series.empty() ? 0.0 : series.back().months();
+}
+
+double
+ForecastEngine::initialIpc(const std::vector<ForecastPoint> &series)
+{
+    return series.empty() ? 0.0 : series.front().meanIpc;
+}
+
+} // namespace hllc::forecast

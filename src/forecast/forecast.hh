@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The forecasting procedure (paper Sec. V-A, after [15]): alternate
+ * simulation phases (trace replay against the current fault-map state)
+ * with prediction phases (analytic wear application over a time jump)
+ * to obtain the temporal evolution of performance and NVM capacity,
+ * until the NVM part loses half its capacity (or a horizon is reached).
+ */
+
+#ifndef HLLC_FORECAST_FORECAST_HH
+#define HLLC_FORECAST_FORECAST_HH
+
+#include <vector>
+
+#include "fault/endurance.hh"
+#include "forecast/aging.hh"
+#include "hierarchy/timing.hh"
+#include "hybrid/hybrid_llc.hh"
+#include "replay/llc_trace.hh"
+#include "replay/replayer.hh"
+
+namespace hllc::forecast
+{
+
+/** Forecast controls. */
+struct ForecastConfig
+{
+    /** Stop once NVM effective capacity falls to this fraction. */
+    double capacityFloor = 0.5;
+    /** Hard horizon. */
+    Seconds maxTime = 120.0 * secondsPerMonth;
+    /** Safety valve on the simulate/predict loop. */
+    std::size_t maxSteps = 400;
+    /** Warm-up fraction of each replayed trace. */
+    double warmupFraction = 0.2;
+    AgingStepConfig aging;
+    /** Intra-frame wear model (ablation; the paper assumes Leveled). */
+    fault::WearDistribution wearDistribution =
+        fault::WearDistribution::Leveled;
+};
+
+/** One sample of the forecast output. */
+struct ForecastPoint
+{
+    Seconds time = 0.0;
+    double capacity = 1.0;      //!< NVM live-byte fraction
+    double meanIpc = 0.0;       //!< arithmetic mean over mixes and cores
+    double hitRate = 0.0;       //!< LLC demand hit rate over all mixes
+    double nvmBytesPerSecond = 0.0;
+
+    double months() const { return time / secondsPerMonth; }
+};
+
+/** Aggregate of one simulation phase over a set of traces. */
+struct PhaseAggregate
+{
+    double meanIpc = 0.0;
+    double hitRate = 0.0;
+    std::uint64_t demandHits = 0;
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t nvmBytesWritten = 0;
+    /** Post-warm-up wall-clock span the phase represents. */
+    Seconds measuredSeconds = 0.0;
+};
+
+/**
+ * Replay every trace in @p traces against @p llc and aggregate hit rate,
+ * NVM bytes written and the timing-model IPC (mean over mixes and
+ * cores). Wear is recorded in the LLC's fault map as a side effect.
+ */
+PhaseAggregate
+replayAllTraces(const std::vector<const replay::LlcTrace *> &traces,
+                hybrid::HybridLlc &llc,
+                const hierarchy::TimingParams &timing,
+                double warmup_fraction);
+
+class ForecastEngine
+{
+  public:
+    /**
+     * @param endurance shared per-byte limits (same fabric across the
+     *        policies being compared)
+     * @param llc_config LLC geometry + policy under forecast
+     * @param traces the workload's captured mixes (all replayed each
+     *        simulation phase)
+     * @param timing latency model for the IPC estimate
+     */
+    ForecastEngine(const fault::EnduranceModel &endurance,
+                   const hybrid::HybridLlcConfig &llc_config,
+                   std::vector<const replay::LlcTrace *> traces,
+                   const hierarchy::TimingParams &timing,
+                   const ForecastConfig &config);
+
+    /** Run the simulate/predict loop; returns the time series. */
+    std::vector<ForecastPoint> run();
+
+    /**
+     * Months at which @p series crosses @p capacity_floor (linear
+     * interpolation); the horizon of the series if it never does.
+     */
+    static double lifetimeMonths(const std::vector<ForecastPoint> &series,
+                                 double capacity_floor);
+
+    /** Mean IPC of the series' first point (fresh-cache performance). */
+    static double initialIpc(const std::vector<ForecastPoint> &series);
+
+  private:
+    /** One simulation phase; returns the sampled point (capacity at t). */
+    ForecastPoint simulatePhase(hybrid::HybridLlc &llc,
+                                fault::FaultMap &map,
+                                Seconds now, Seconds &window_seconds);
+
+    const fault::EnduranceModel &endurance_;
+    hybrid::HybridLlcConfig llcConfig_;
+    std::vector<const replay::LlcTrace *> traces_;
+    hierarchy::TimingParams timing_;
+    ForecastConfig config_;
+};
+
+} // namespace hllc::forecast
+
+#endif // HLLC_FORECAST_FORECAST_HH

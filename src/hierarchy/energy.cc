@@ -1,0 +1,37 @@
+#include "hierarchy/energy.hh"
+
+namespace hllc::hierarchy
+{
+
+EnergyBreakdown
+llcEnergy(const StatGroup &llc_stats, std::uint32_t sram_ways,
+          Seconds window_seconds, const EnergyParams &params)
+{
+    EnergyBreakdown e;
+
+    const auto sram_reads =
+        llc_stats.counterValue("gets_hits_sram") +
+        llc_stats.counterValue("getx_hits_sram");
+    const auto nvm_reads =
+        llc_stats.counterValue("gets_hits_nvm") +
+        llc_stats.counterValue("getx_hits_nvm");
+    const auto sram_fills = llc_stats.counterValue("inserts_sram");
+    const auto nvm_bytes = llc_stats.counterValue("nvm_bytes_written");
+    const auto misses = llc_stats.counterValue("gets_misses") +
+                        llc_stats.counterValue("getx_misses");
+
+    e.sramDynamic =
+        static_cast<double>(sram_reads) * params.sramReadNj +
+        static_cast<double>(sram_fills) * params.sramWriteNj;
+    e.nvmRead = static_cast<double>(nvm_reads) *
+                (params.nvmReadNj + params.decompressionNj);
+    e.nvmWrite =
+        static_cast<double>(nvm_bytes) * params.nvmWritePerByteNj;
+    e.offChip = static_cast<double>(misses) * params.dramAccessNj;
+    // Leakage in nJ: W * s * 1e9.
+    e.leakage = params.sramLeakagePerWayW *
+                static_cast<double>(sram_ways) * window_seconds * 1e9;
+    return e;
+}
+
+} // namespace hllc::hierarchy

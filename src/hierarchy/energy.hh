@@ -1,0 +1,64 @@
+/**
+ * @file
+ * LLC energy model.
+ *
+ * The hybrid-LLC literature (TAP in particular) motivates NVM steering
+ * with energy: STT-MRAM reads are cheap and its leakage is negligible,
+ * but writes are energy-hungry and scale with the bytes switched —
+ * which is exactly what compression and write-aware insertion reduce.
+ * This model converts the LLC's event counters into a per-component
+ * energy breakdown using NVSim/CACTI-style per-access constants.
+ */
+
+#ifndef HLLC_HIERARCHY_ENERGY_HH
+#define HLLC_HIERARCHY_ENERGY_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace hllc::hierarchy
+{
+
+/** Per-access / per-byte energy constants (nJ) and leakage (W). */
+struct EnergyParams
+{
+    double sramReadNj = 0.35;       //!< SRAM way read
+    double sramWriteNj = 0.40;      //!< SRAM way fill
+    double nvmReadNj = 0.45;        //!< NVM frame read (sensing)
+    double nvmWritePerByteNj = 0.08; //!< MTJ switching, per byte written
+    double dramAccessNj = 18.0;     //!< off-chip fill on an LLC miss
+    double sramLeakagePerWayW = 0.020; //!< SRAM leaks; NVM essentially 0
+    double decompressionNj = 0.02;  //!< BDI decompressor activation
+};
+
+/** Energy totals of one measurement window, in nJ. */
+struct EnergyBreakdown
+{
+    double sramDynamic = 0.0;
+    double nvmRead = 0.0;
+    double nvmWrite = 0.0;
+    double offChip = 0.0;
+    double leakage = 0.0;
+
+    double
+    total() const
+    {
+        return sramDynamic + nvmRead + nvmWrite + offChip + leakage;
+    }
+};
+
+/**
+ * Convert an LLC stat group (HybridLlc counters) into an energy
+ * breakdown.
+ *
+ * @param llc_stats counters of the measured window
+ * @param sram_ways leaking SRAM ways
+ * @param window_seconds wall-clock span of the window (leakage)
+ */
+EnergyBreakdown
+llcEnergy(const StatGroup &llc_stats, std::uint32_t sram_ways,
+          Seconds window_seconds, const EnergyParams &params = {});
+
+} // namespace hllc::hierarchy
+
+#endif // HLLC_HIERARCHY_ENERGY_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Consumer interface for LLC-bound traffic produced by the private cache
+ * levels. Implemented by the live HybridLlc adapter (detailed simulation)
+ * and by the trace recorder (capture for replay).
+ */
+
+#ifndef HLLC_HIERARCHY_LLC_SINK_HH
+#define HLLC_HIERARCHY_LLC_SINK_HH
+
+#include "hybrid/types.hh"
+
+namespace hllc::hierarchy
+{
+
+class LlcSink
+{
+  public:
+    virtual ~LlcSink() = default;
+
+    /**
+     * A GetS (read) or GetX (write-permission) request from an L2 miss or
+     * upgrade. @return where the request was serviced.
+     */
+    virtual hybrid::AccessOutcome
+    demand(Addr block, bool getx, CoreId core) = 0;
+
+    /**
+     * An L2 victim arriving at the LLC.
+     * @param ecb_bytes compressed size of the block's contents
+     */
+    virtual void
+    put(Addr block, bool dirty, CoreId core, unsigned ecb_bytes) = 0;
+};
+
+} // namespace hllc::hierarchy
+
+#endif // HLLC_HIERARCHY_LLC_SINK_HH

@@ -1,0 +1,135 @@
+#include "hierarchy/private_cache.hh"
+
+#include "common/logging.hh"
+
+namespace hllc::hierarchy
+{
+
+using cache::Victim;
+using hybrid::AccessOutcome;
+
+CoreHierarchy::CoreHierarchy(CoreId core, const PrivateCacheConfig &config,
+                             workload::AppModel *app, LlcSink *sink)
+    : core_(core), app_(app), sink_(sink),
+      l1_("l1_core" + std::to_string(core), config.l1Bytes, config.l1Ways),
+      l2_("l2_core" + std::to_string(core), config.l2Bytes, config.l2Ways)
+{
+    HLLC_ASSERT(app != nullptr && sink != nullptr);
+}
+
+ServiceLevel
+CoreHierarchy::recordDemand(AccessOutcome outcome, bool upgrade)
+{
+    ++llcDemands_;
+    switch (outcome) {
+      case AccessOutcome::HitSram:
+        ++llcHitsSram_;
+        return ServiceLevel::LlcSram;
+      case AccessOutcome::HitNvm:
+        ++llcHitsNvm_;
+        return ServiceLevel::LlcNvm;
+      case AccessOutcome::Miss:
+        if (upgrade) {
+            // Ownership upgrades that miss the LLC are resolved at the
+            // directory without a memory fetch (the data is local).
+            ++llcHitsSram_;
+            return ServiceLevel::LlcSram;
+        }
+        ++llcMisses_;
+        return ServiceLevel::Memory;
+    }
+    panic("unreachable");
+}
+
+void
+CoreHierarchy::handleL2Victim(const Victim &victim)
+{
+    // Inclusion: kick the L1 copy out first and merge its dirtiness.
+    bool dirty = victim.dirty;
+    if (auto l1_dirty = l1_.invalidate(victim.blockNum))
+        dirty = dirty || *l1_dirty;
+
+    // Non-inclusive LLC: the victim is written there if absent.
+    sink_->put(victim.blockNum, dirty, core_,
+               app_->ecbSizeOf(victim.blockNum));
+}
+
+ServiceLevel
+CoreHierarchy::access(const workload::MemRef &ref)
+{
+    ++refs_;
+    const Addr block = ref.blockNum;
+    const bool write = ref.write;
+
+    // --- L1 ---
+    if (l1_.access(block, /*is_write=*/false)) {
+        const bool writable = (*l1_.meta(block) & metaWritable) != 0;
+        if (!write) {
+            ++l1Hits_;
+            return ServiceLevel::L1;
+        }
+        if (writable) {
+            l1_.setDirty(block);
+            ++l1Hits_;
+            return ServiceLevel::L1;
+        }
+        // Store to a read-only copy: upgrade below. The copy stays; only
+        // permissions are acquired.
+        const bool l2_writable =
+            l2_.contains(block) && (*l2_.meta(block) & metaWritable);
+        if (l2_writable) {
+            l1_.setMeta(block, metaWritable);
+            l1_.setDirty(block);
+            ++l2Hits_;
+            return ServiceLevel::L2;
+        }
+        const AccessOutcome outcome =
+            sink_->demand(block, /*getx=*/true, core_);
+        if (l2_.contains(block))
+            l2_.setMeta(block, metaWritable);
+        l1_.setMeta(block, metaWritable);
+        l1_.setDirty(block);
+        return recordDemand(outcome, /*upgrade=*/true);
+    }
+
+    // --- L2 ---
+    ServiceLevel level;
+    std::uint32_t fill_meta = 0;
+
+    if (l2_.access(block, /*is_write=*/false)) {
+        const bool writable = (*l2_.meta(block) & metaWritable) != 0;
+        if (write && !writable) {
+            // Upgrade: GetX towards the LLC (invalidates its copy).
+            const AccessOutcome outcome =
+                sink_->demand(block, /*getx=*/true, core_);
+            l2_.setMeta(block, metaWritable);
+            level = recordDemand(outcome, /*upgrade=*/true);
+        } else {
+            ++l2Hits_;
+            level = ServiceLevel::L2;
+        }
+        fill_meta = *l2_.meta(block);
+    } else {
+        // L2 miss: GetS/GetX to the LLC; on an LLC miss the block comes
+        // from memory straight into the private levels (Sec. III-A).
+        const AccessOutcome outcome = sink_->demand(block, write, core_);
+        level = recordDemand(outcome, /*upgrade=*/false);
+
+        fill_meta = write ? metaWritable : 0;
+        if (auto victim = l2_.fill(block, /*dirty=*/false, fill_meta))
+            handleL2Victim(*victim);
+    }
+
+    // --- L1 fill ---
+    if (auto victim = l1_.fill(block, /*dirty=*/write, fill_meta)) {
+        // Writeback into L2 (inclusion guarantees presence).
+        if (victim->dirty) {
+            l2_.setDirty(victim->blockNum);
+            l2_.setMeta(victim->blockNum,
+                        victim->meta | metaWritable);
+        }
+    }
+    return level;
+}
+
+} // namespace hllc::hierarchy

@@ -1,0 +1,41 @@
+#include "hierarchy/timing.hh"
+
+namespace hllc::hierarchy
+{
+
+double
+coreCycles(const CoreActivity &a, const TimingParams &p)
+{
+    double cycles =
+        static_cast<double>(a.instructions) * a.baseCpi;
+
+    // L1 hits are pipelined into the base CPI; deeper levels expose their
+    // load-use latency discounted by the overlap the OoO window extracts.
+    cycles += static_cast<double>(a.l2Hits) *
+              static_cast<double>(p.l2LoadUse) / p.hitMlp;
+    cycles += static_cast<double>(a.llcHitsSram) *
+              static_cast<double>(p.llcSramLoadUse) / p.hitMlp;
+    cycles += static_cast<double>(a.llcHitsNvm) *
+              static_cast<double>(p.llcNvmLoadUse) / p.hitMlp;
+    cycles += static_cast<double>(a.llcMisses) *
+              static_cast<double>(p.llcSramLoadUse + p.memLatency) /
+              p.missMlp;
+    // Slow NVM writes throttle subsequent reads to the same bank
+    // (Sec. I); charge a small exposed fraction per write.
+    cycles += static_cast<double>(a.nvmWrites) *
+              static_cast<double>(p.nvmWriteLatency) *
+              p.nvmWriteStallFraction;
+
+    return cycles;
+}
+
+double
+coreIpc(const CoreActivity &a, const TimingParams &p)
+{
+    const double cycles = coreCycles(a, p);
+    return cycles <= 0.0
+        ? 0.0
+        : static_cast<double>(a.instructions) / cycles;
+}
+
+} // namespace hllc::hierarchy

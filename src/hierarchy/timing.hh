@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytic timing model of the 4-core CMP (Table IV latencies).
+ *
+ * This replaces gem5's cycle-accurate O3 pipeline with an event-count
+ * model: cycles = instructions * baseCPI + sum(event * exposed penalty),
+ * where penalties are the load-use latencies of the level that serviced
+ * each reference, discounted by a memory-level-parallelism factor. Every
+ * metric the paper reports is a normalized IPC, for which this model
+ * preserves ordering and relative gaps (DESIGN.md Sec. 2).
+ */
+
+#ifndef HLLC_HIERARCHY_TIMING_HH
+#define HLLC_HIERARCHY_TIMING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace hllc::hierarchy
+{
+
+/** Latency and overlap parameters (Table IV, NVSim-derived numbers). */
+struct TimingParams
+{
+    Cycle l1LoadUse = 3;
+    Cycle l2LoadUse = 12;
+    Cycle llcSramLoadUse = 28;  //!< 4-cycle SRAM data array
+    /** 8-cycle NVM data array + 2 cycles decompression/rearrangement. */
+    Cycle llcNvmLoadUse = 34;
+    Cycle nvmWriteLatency = 20;
+    Cycle memLatency = 200;     //!< DDR4, one channel
+
+    /** Load-level parallelism hiding part of hit latencies. */
+    double hitMlp = 1.6;
+    /** Overlap of off-chip misses (MSHR-level parallelism). */
+    double missMlp = 3.0;
+    /** Fraction of each NVM write's latency exposed to the core. */
+    double nvmWriteStallFraction = 0.10;
+};
+
+/** Event counts of one core over a measurement window. */
+struct CoreActivity
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t llcHitsSram = 0;
+    std::uint64_t llcHitsNvm = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t nvmWrites = 0;
+    double baseCpi = 0.4;
+};
+
+/** Cycles the window of @p activity takes on one core. */
+double coreCycles(const CoreActivity &activity, const TimingParams &params);
+
+/** instructions / coreCycles (0 when idle). */
+double coreIpc(const CoreActivity &activity, const TimingParams &params);
+
+} // namespace hllc::hierarchy
+
+#endif // HLLC_HIERARCHY_TIMING_HH

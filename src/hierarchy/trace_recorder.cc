@@ -1,0 +1,63 @@
+#include "hierarchy/trace_recorder.hh"
+
+#include "common/logging.hh"
+#include "hybrid/hybrid_llc.hh"
+
+namespace hllc::hierarchy
+{
+
+using hybrid::AccessOutcome;
+using hybrid::LlcEvent;
+using hybrid::LlcEventType;
+
+TraceRecorder::TraceRecorder(replay::LlcTrace *trace) : trace_(trace)
+{
+    HLLC_ASSERT(trace != nullptr);
+}
+
+AccessOutcome
+TraceRecorder::demand(Addr block, bool getx, CoreId core)
+{
+    trace_->append(LlcEvent{
+        block,
+        getx ? LlcEventType::GetX : LlcEventType::GetS,
+        static_cast<std::uint8_t>(blockBytes),
+        core,
+    });
+    // The functional stream does not depend on the answer (Sec. III-A).
+    return AccessOutcome::Miss;
+}
+
+void
+TraceRecorder::put(Addr block, bool dirty, CoreId core, unsigned ecb_bytes)
+{
+    trace_->append(LlcEvent{
+        block,
+        dirty ? LlcEventType::PutDirty : LlcEventType::PutClean,
+        static_cast<std::uint8_t>(ecb_bytes),
+        core,
+    });
+}
+
+HybridLlcSink::HybridLlcSink(hybrid::HybridLlc *llc) : llc_(llc)
+{
+    HLLC_ASSERT(llc != nullptr);
+}
+
+AccessOutcome
+HybridLlcSink::demand(Addr block, bool getx, CoreId core)
+{
+    llc_->tick(llc_->config().cyclesPerEvent);
+    (void)core;
+    return getx ? llc_->onGetX(block) : llc_->onGetS(block);
+}
+
+void
+HybridLlcSink::put(Addr block, bool dirty, CoreId core, unsigned ecb_bytes)
+{
+    llc_->tick(llc_->config().cyclesPerEvent);
+    (void)core;
+    llc_->onPut(block, dirty, ecb_bytes);
+}
+
+} // namespace hllc::hierarchy

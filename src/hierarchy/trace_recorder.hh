@@ -1,0 +1,59 @@
+/**
+ * @file
+ * LlcSink that captures the LLC-bound event stream into an LlcTrace.
+ *
+ * Because the private levels are LLC-independent (Sec. III-A), the
+ * recorder can answer every demand with Miss without perturbing the
+ * functional stream; captured traces are replayed against any LLC
+ * configuration by replay::TraceReplayer.
+ */
+
+#ifndef HLLC_HIERARCHY_TRACE_RECORDER_HH
+#define HLLC_HIERARCHY_TRACE_RECORDER_HH
+
+#include "hierarchy/llc_sink.hh"
+#include "replay/llc_trace.hh"
+
+namespace hllc::hybrid
+{
+class HybridLlc;
+} // namespace hllc::hybrid
+
+namespace hllc::hierarchy
+{
+
+class TraceRecorder : public LlcSink
+{
+  public:
+    /** @param trace destination; must outlive the recorder. */
+    explicit TraceRecorder(replay::LlcTrace *trace);
+
+    hybrid::AccessOutcome
+    demand(Addr block, bool getx, CoreId core) override;
+
+    void
+    put(Addr block, bool dirty, CoreId core, unsigned ecb_bytes) override;
+
+  private:
+    replay::LlcTrace *trace_;
+};
+
+/** LlcSink adapter driving a live HybridLlc (detailed simulation). */
+class HybridLlcSink : public LlcSink
+{
+  public:
+    explicit HybridLlcSink(hybrid::HybridLlc *llc);
+
+    hybrid::AccessOutcome
+    demand(Addr block, bool getx, CoreId core) override;
+
+    void
+    put(Addr block, bool dirty, CoreId core, unsigned ecb_bytes) override;
+
+  private:
+    hybrid::HybridLlc *llc_;
+};
+
+} // namespace hllc::hierarchy
+
+#endif // HLLC_HIERARCHY_TRACE_RECORDER_HH

@@ -1,0 +1,528 @@
+#include "hybrid/hybrid_llc.hh"
+
+#include "common/logging.hh"
+#include "compression/encoding.hh"
+
+namespace hllc::hybrid
+{
+
+HybridLlc::HybridLlc(const HybridLlcConfig &config,
+                     fault::FaultMap *fault_map)
+    : config_(config),
+      policy_(InsertionPolicy::create(config.policy, config.params)),
+      faultMap_(fault_map),
+      lines_(static_cast<std::size_t>(config.numSets) *
+             config.totalWays()),
+      lru_(config.numSets, config.totalWays()),
+      stats_(std::string("llc_") + std::string(policy_->name()))
+{
+    HLLC_ASSERT(config.numSets > 0 &&
+                (config.numSets & (config.numSets - 1)) == 0,
+                "numSets must be a power of two");
+    HLLC_ASSERT(config.totalWays() > 0);
+
+    if (config.nvmWays > 0) {
+        HLLC_ASSERT(faultMap_ != nullptr,
+                    "NVM ways require a fault map");
+        HLLC_ASSERT(faultMap_->geometry().numSets == config.numSets &&
+                    faultMap_->geometry().numNvmWays == config.nvmWays,
+                    "fault-map geometry mismatch");
+        HLLC_ASSERT(faultMap_->granularity() == policy_->granularity(),
+                    "policy %s needs %s disabling",
+                    std::string(policy_->name()).c_str(),
+                    policy_->usesCompression() ? "byte" : "frame");
+    }
+
+    if (policy_->usesSetDueling()) {
+        dueling_ = std::make_unique<SetDueling>(
+            config.numSets, compression::cpthCandidates(),
+            config.epochCycles, policy_->thPercent(),
+            policy_->twPercent());
+    }
+}
+
+unsigned
+HybridLlc::frameCapacity(std::uint32_t set, std::uint32_t way) const
+{
+    if (!isNvmWay(way))
+        return blockBytes;
+    return faultMap_->frameCapacity(frameOf(set, way));
+}
+
+unsigned
+HybridLlc::storedSize(std::uint32_t way, unsigned ecb) const
+{
+    // SRAM stores blocks uncompressed; NVM stores the ECB when the policy
+    // compresses, raw frames otherwise.
+    if (isNvmWay(way) && policy_->usesCompression())
+        return ecb;
+    return blockBytes;
+}
+
+int
+HybridLlc::findWay(std::uint32_t set, Addr block) const
+{
+    for (std::uint32_t w = 0; w < config_.totalWays(); ++w) {
+        const Line &l = line(set, w);
+        if (l.valid && l.blockNum == block)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+HybridLlc::victimWay(std::uint32_t set, std::uint32_t begin,
+                     std::uint32_t end, unsigned ecb)
+{
+    // Empty frames with enough capacity first...
+    for (std::uint32_t w = begin; w < end; ++w) {
+        if (!line(set, w).valid &&
+            frameCapacity(set, w) >= storedSize(w, ecb)) {
+            return static_cast<int>(w);
+        }
+    }
+
+    const auto fits = [&](std::uint32_t w) {
+        return line(set, w).valid &&
+               frameCapacity(set, w) >= storedSize(w, ecb);
+    };
+
+    if (config_.replacement == ReplacementKind::Srrip) {
+        // SRRIP: evict the first fitting line predicted re-referenced
+        // in the distant future; age everyone until one exists.
+        bool any_fits = false;
+        for (std::uint32_t w = begin; w < end; ++w)
+            any_fits = any_fits || fits(w);
+        if (!any_fits)
+            return -1;
+        for (unsigned round = 0; round <= maxRrpv; ++round) {
+            for (std::uint32_t w = begin; w < end; ++w) {
+                if (fits(w) && line(set, w).rrpv >= maxRrpv)
+                    return static_cast<int>(w);
+            }
+            for (std::uint32_t w = begin; w < end; ++w) {
+                Line &l = line(set, w);
+                if (l.valid && l.rrpv < maxRrpv)
+                    ++l.rrpv;
+            }
+        }
+        panic("SRRIP victim scan did not converge");
+    }
+
+    // ...then the LRU line among frames the block fits in (Fit-LRU).
+    return lru_.lruWay(set, begin, end, fits);
+}
+
+void
+HybridLlc::evict(std::uint32_t set, std::uint32_t way)
+{
+    Line &l = line(set, way);
+    if (!l.valid)
+        return;
+    ++stats_.counter(isNvmWay(way) ? "evictions_nvm" : "evictions_sram");
+    if (l.dirty)
+        ++stats_.counter("writebacks_dirty");
+    l.valid = false;
+    l.dirty = false;
+}
+
+void
+HybridLlc::writeLine(std::uint32_t set, std::uint32_t way, Addr block,
+                     bool dirty, unsigned ecb)
+{
+    // Byte attribution for the write-traffic breakdown studies.
+    if (isNvmWay(way)) {
+        const char *bucket;
+        switch (tracker_.classOf(block)) {
+          case ReuseClass::None:
+            bucket = dirty ? "nvm_bytes_none_dirty"
+                           : "nvm_bytes_none_clean";
+            break;
+          case ReuseClass::Read:
+            bucket = "nvm_bytes_read";
+            break;
+          default:
+            bucket = "nvm_bytes_write_reuse";
+            break;
+        }
+        stats_.counter(bucket) += storedSize(way, ecb);
+    }
+    Line &l = line(set, way);
+    HLLC_ASSERT(!l.valid, "writeLine over a live resident");
+
+    const unsigned stored = storedSize(way, ecb);
+    HLLC_ASSERT(frameCapacity(set, way) >= stored,
+                "block (%u B) does not fit frame (%u B)",
+                stored, frameCapacity(set, way));
+
+    l.blockNum = block;
+    l.valid = true;
+    l.dirty = dirty;
+    l.ecbBytes = static_cast<std::uint8_t>(ecb);
+    l.rrpv = maxRrpv - 1; // SRRIP long re-reference insertion
+    lru_.touch(set, way);
+
+    if (isNvmWay(way)) {
+        faultMap_->recordWrite(frameOf(set, way), stored);
+        ++stats_.counter("nvm_writes");
+        stats_.counter("nvm_bytes_written") += stored;
+        ++stats_.counter("inserts_nvm");
+        if (dueling_)
+            dueling_->recordNvmBytes(set, stored);
+    } else {
+        ++stats_.counter("inserts_sram");
+    }
+}
+
+void
+HybridLlc::migrateToNvm(std::uint32_t set, std::uint32_t way)
+{
+    Line &l = line(set, way);
+    HLLC_ASSERT(l.valid && !isNvmWay(way));
+
+    const Addr block = l.blockNum;
+    const bool dirty = l.dirty;
+    const unsigned ecb = l.ecbBytes;
+
+    const int nvm_way = config_.nvmWays == 0
+        ? -1
+        : victimWay(set, config_.sramWays, config_.totalWays(), ecb);
+    if (nvm_way < 0) {
+        // No NVM frame can take it: plain eviction.
+        evict(set, way);
+        return;
+    }
+
+    // Free the SRAM way without writeback (the block stays in the LLC).
+    l.valid = false;
+    l.dirty = false;
+    ++stats_.counter("evictions_sram");
+
+    evict(set, static_cast<std::uint32_t>(nvm_way));
+    writeLine(set, static_cast<std::uint32_t>(nvm_way), block, dirty, ecb);
+    ++stats_.counter("migrations_to_nvm");
+}
+
+void
+HybridLlc::insert(Addr block, bool dirty, unsigned ecb)
+{
+    const std::uint32_t set = setOf(block);
+    const unsigned cpth = dueling_ ? dueling_->cpthForSet(set)
+                                   : config_.params.fixedCpth;
+    const InsertContext ctx{
+        block, dirty, ecb, tracker_.classOf(block),
+        tracker_.hitsOf(block), set, cpth,
+    };
+
+    // Insertion-mix accounting (motivation studies / debugging).
+    switch (ctx.reuse) {
+      case ReuseClass::None:
+        ++stats_.counter(dirty ? "ins_none_dirty" : "ins_none_clean");
+        break;
+      case ReuseClass::Read:
+        ++stats_.counter(dirty ? "ins_read_dirty" : "ins_read_clean");
+        break;
+      case ReuseClass::Write:
+        ++stats_.counter(dirty ? "ins_write_dirty" : "ins_write_clean");
+        break;
+    }
+
+    if (policy_->globalReplacement()) {
+        // BH / BH_CP / SRAM bounds: one (Fit-)LRU across all ways.
+        const int way = victimWay(set, 0, config_.totalWays(), ecb);
+        if (way < 0) {
+            // Every live frame is too small: bypass the LLC.
+            ++stats_.counter("bypasses");
+            if (dirty)
+                ++stats_.counter("writebacks_dirty");
+            return;
+        }
+        evict(set, static_cast<std::uint32_t>(way));
+        writeLine(set, static_cast<std::uint32_t>(way), block, dirty, ecb);
+        return;
+    }
+
+    Part part = policy_->choosePart(ctx);
+
+    if (part == Part::Nvm) {
+        const int way = config_.nvmWays == 0
+            ? -1
+            : victimWay(set, config_.sramWays, config_.totalWays(), ecb);
+        if (way >= 0) {
+            evict(set, static_cast<std::uint32_t>(way));
+            writeLine(set, static_cast<std::uint32_t>(way), block, dirty,
+                      ecb);
+            return;
+        }
+        // Doesn't fit in any NVM frame of the set: fall back to SRAM
+        // (paper Sec. IV-B).
+        ++stats_.counter("insert_nvm_fallback_sram");
+        part = Part::Sram;
+    }
+
+    if (config_.sramWays == 0) {
+        ++stats_.counter("bypasses");
+        if (dirty)
+            ++stats_.counter("writebacks_dirty");
+        return;
+    }
+
+    // SRAM insertion. Look for an empty way first.
+    int way = -1;
+    for (std::uint32_t w = 0; w < config_.sramWays; ++w) {
+        if (!line(set, w).valid) {
+            way = static_cast<int>(w);
+            break;
+        }
+    }
+
+    if (way < 0) {
+        if (policy_->lhybridSramReplacement()) {
+            // LHybrid: migrate the MRU loop-block to NVM to free a frame;
+            // otherwise evict the LRU (paper Sec. II-C).
+            const int lb_way =
+                lru_.mruWay(set, 0, config_.sramWays,
+                            [&](std::uint32_t w) {
+                                const Line &l = line(set, w);
+                                return l.valid && !l.dirty &&
+                                       tracker_.classOf(l.blockNum) ==
+                                           ReuseClass::Read;
+                            });
+            if (lb_way >= 0) {
+                migrateToNvm(set, static_cast<std::uint32_t>(lb_way));
+                way = lb_way;
+            } else {
+                way = lru_.lruWay(set, 0, config_.sramWays,
+                                  [](std::uint32_t) { return true; });
+            }
+        } else {
+            way = lru_.lruWay(set, 0, config_.sramWays,
+                              [](std::uint32_t) { return true; });
+            HLLC_ASSERT(way >= 0);
+            const Line &victim = line(set, static_cast<std::uint32_t>(way));
+            if (policy_->migrateReadReuseOnSramEviction() && victim.valid &&
+                tracker_.classOf(victim.blockNum) == ReuseClass::Read) {
+                // CA_RWR: a read-reused SRAM victim moves to NVM instead
+                // of leaving the LLC (paper Sec. IV-B).
+                migrateToNvm(set, static_cast<std::uint32_t>(way));
+            }
+        }
+    }
+
+    HLLC_ASSERT(way >= 0);
+    evict(set, static_cast<std::uint32_t>(way));
+    writeLine(set, static_cast<std::uint32_t>(way), block, dirty, ecb);
+}
+
+AccessOutcome
+HybridLlc::onGetS(Addr block)
+{
+    const std::uint32_t set = setOf(block);
+    const int way = findWay(set, block);
+    ++stats_.counter("gets");
+
+    if (way < 0) {
+        // Miss: the block is fetched from memory straight into L2 and its
+        // reuse history restarts (Sec. III-A).
+        tracker_.onMemoryFetch(block);
+        ++stats_.counter("gets_misses");
+        return AccessOutcome::Miss;
+    }
+
+    Line &l = line(set, static_cast<std::uint32_t>(way));
+    tracker_.onLlcHit(block, /*getx=*/false, l.dirty);
+    l.rrpv = 0;
+    lru_.touch(set, static_cast<std::uint32_t>(way));
+    if (dueling_)
+        dueling_->recordHit(set);
+
+    if (isNvmWay(static_cast<std::uint32_t>(way))) {
+        ++stats_.counter("gets_hits_nvm");
+        return AccessOutcome::HitNvm;
+    }
+    ++stats_.counter("gets_hits_sram");
+    return AccessOutcome::HitSram;
+}
+
+AccessOutcome
+HybridLlc::onGetX(Addr block)
+{
+    const std::uint32_t set = setOf(block);
+    const int way = findWay(set, block);
+    ++stats_.counter("getx");
+
+    if (way < 0) {
+        tracker_.onMemoryFetch(block);
+        ++stats_.counter("getx_misses");
+        return AccessOutcome::Miss;
+    }
+
+    Line &l = line(set, static_cast<std::uint32_t>(way));
+    tracker_.onLlcHit(block, /*getx=*/true, l.dirty);
+    if (dueling_)
+        dueling_->recordHit(set);
+
+    // Invalidate-on-hit: ownership moves to the private levels; the dirty
+    // block will be Put back on L2 eviction (Sec. III-A).
+    const bool nvm = isNvmWay(static_cast<std::uint32_t>(way));
+    l.valid = false;
+    l.dirty = false;
+    ++stats_.counter("invalidate_on_getx");
+
+    if (nvm) {
+        ++stats_.counter("getx_hits_nvm");
+        return AccessOutcome::HitNvm;
+    }
+    ++stats_.counter("getx_hits_sram");
+    return AccessOutcome::HitSram;
+}
+
+void
+HybridLlc::onPut(Addr block, bool dirty, unsigned ecb_bytes)
+{
+    HLLC_ASSERT(ecb_bytes >= 2 && ecb_bytes <= blockBytes,
+                "implausible ECB size %u", ecb_bytes);
+    ++stats_.counter(dirty ? "puts_dirty" : "puts_clean");
+
+    const std::uint32_t set = setOf(block);
+    const int way = findWay(set, block);
+
+    if (way >= 0) {
+        // Already resident (the usual case for clean L2 victims whose
+        // copy survived in the LLC): no write needed.
+        ++stats_.counter("puts_present");
+        Line &l = line(set, static_cast<std::uint32_t>(way));
+        l.rrpv = 0;
+        lru_.touch(set, static_cast<std::uint32_t>(way));
+        if (!dirty)
+            return;
+        // A dirty Put over a (stale) resident copy rewrites it in place
+        // when the frame still fits the new contents.
+        const auto uway = static_cast<std::uint32_t>(way);
+        const unsigned stored = storedSize(uway, ecb_bytes);
+        if (frameCapacity(set, uway) >= stored) {
+            l.dirty = true;
+            l.ecbBytes = static_cast<std::uint8_t>(ecb_bytes);
+            if (isNvmWay(uway)) {
+                faultMap_->recordWrite(frameOf(set, uway), stored);
+                ++stats_.counter("nvm_writes");
+                stats_.counter("nvm_bytes_written") += stored;
+                if (dueling_)
+                    dueling_->recordNvmBytes(set, stored);
+            }
+            ++stats_.counter("inplace_updates");
+            return;
+        }
+        // Grew past the frame's capacity: relocate.
+        l.valid = false;
+        l.dirty = false;
+    }
+
+    insert(block, dirty, ecb_bytes);
+}
+
+AccessOutcome
+HybridLlc::handle(const LlcEvent &event)
+{
+    tick(config_.cyclesPerEvent);
+    switch (event.type) {
+      case LlcEventType::GetS:
+        return onGetS(event.blockNum);
+      case LlcEventType::GetX:
+        return onGetX(event.blockNum);
+      case LlcEventType::PutClean:
+        onPut(event.blockNum, false, event.ecbBytes);
+        return AccessOutcome::Miss;
+      case LlcEventType::PutDirty:
+        onPut(event.blockNum, true, event.ecbBytes);
+        return AccessOutcome::Miss;
+    }
+    panic("unknown LLC event type");
+}
+
+void
+HybridLlc::tick(Cycle cycles)
+{
+    if (dueling_)
+        dueling_->tick(cycles);
+}
+
+bool
+HybridLlc::contains(Addr block) const
+{
+    return findWay(setOf(block), block) >= 0;
+}
+
+std::optional<Part>
+HybridLlc::partOf(Addr block) const
+{
+    const int way = findWay(setOf(block), block);
+    if (way < 0)
+        return std::nullopt;
+    return isNvmWay(static_cast<std::uint32_t>(way)) ? Part::Nvm
+                                                     : Part::Sram;
+}
+
+unsigned
+HybridLlc::cpthForSet(std::uint32_t set) const
+{
+    return dueling_ ? dueling_->cpthForSet(set) : config_.params.fixedCpth;
+}
+
+std::uint64_t
+HybridLlc::demandHits() const
+{
+    return stats_.counterValue("gets_hits_sram") +
+           stats_.counterValue("gets_hits_nvm") +
+           stats_.counterValue("getx_hits_sram") +
+           stats_.counterValue("getx_hits_nvm");
+}
+
+std::uint64_t
+HybridLlc::demandAccesses() const
+{
+    return stats_.counterValue("gets") + stats_.counterValue("getx");
+}
+
+double
+HybridLlc::hitRate() const
+{
+    const std::uint64_t accesses = demandAccesses();
+    return accesses == 0
+        ? 0.0
+        : static_cast<double>(demandHits()) /
+          static_cast<double>(accesses);
+}
+
+void
+HybridLlc::revalidateAgainstFaultMap()
+{
+    if (config_.nvmWays == 0)
+        return;
+    for (std::uint32_t set = 0; set < config_.numSets; ++set) {
+        for (std::uint32_t w = config_.sramWays; w < config_.totalWays();
+             ++w) {
+            Line &l = line(set, w);
+            if (!l.valid)
+                continue;
+            const unsigned stored = storedSize(w, l.ecbBytes);
+            if (frameCapacity(set, w) < stored) {
+                l.valid = false;
+                l.dirty = false;
+                ++stats_.counter("aged_out");
+            }
+        }
+    }
+}
+
+void
+HybridLlc::reset()
+{
+    for (auto &l : lines_) {
+        l.valid = false;
+        l.dirty = false;
+    }
+    tracker_.clear();
+}
+
+} // namespace hllc::hybrid

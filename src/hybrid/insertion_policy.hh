@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Insertion-policy interface of the hybrid LLC.
+ *
+ * A policy answers, for each incoming block, which part (SRAM/NVM) it
+ * should enter, and declares the structural features the LLC must enable
+ * for it: compression + byte disabling vs. raw frames + frame disabling,
+ * global vs. per-part replacement, SRAM-eviction migration, LHybrid's
+ * loop-block-aware SRAM replacement, and Set Dueling.
+ */
+
+#ifndef HLLC_HYBRID_INSERTION_POLICY_HH
+#define HLLC_HYBRID_INSERTION_POLICY_HH
+
+#include <memory>
+#include <string_view>
+
+#include "fault/fault_map.hh"
+#include "hybrid/types.hh"
+
+namespace hllc::hybrid
+{
+
+/** Everything a policy may consult when steering one incoming block. */
+struct InsertContext
+{
+    Addr blockNum;      //!< block being inserted
+    bool dirty;         //!< Put-dirty vs Put-clean
+    unsigned ecbBytes;  //!< compressed (ECB) size of the contents
+    ReuseClass reuse;   //!< current reuse classification
+    unsigned hits;      //!< LLC hits since last memory fetch (TAP)
+    std::uint32_t set;  //!< target set
+    unsigned cpth;      //!< compression threshold in force for this set
+};
+
+/** Tunables consumed by the policy factory. */
+struct PolicyParams
+{
+    unsigned fixedCpth = 58;    //!< CA / CA_RWR compression threshold
+    unsigned tapThreshold = 2;  //!< hits needed to become thrashing (TAP)
+    double thPercent = 4.0;     //!< CP_SD_Th: Th (max hits sacrificed, %)
+    double twPercent = 5.0;     //!< CP_SD_Th: Tw (min write reduction, %)
+};
+
+class InsertionPolicy
+{
+  public:
+    virtual ~InsertionPolicy() = default;
+
+    /** Which policy this object implements. */
+    virtual PolicyKind kind() const = 0;
+
+    /** Paper label, e.g. "CP_SD". */
+    std::string_view name() const { return policyName(kind()); }
+
+    /** Steer the incoming block of @p ctx to a part. */
+    virtual Part choosePart(const InsertContext &ctx) const = 0;
+
+    /** Whether blocks are stored compressed in the NVM part. */
+    virtual bool usesCompression() const = 0;
+
+    /** Disabling granularity the NVM part must be configured with. */
+    fault::DisableGranularity
+    granularity() const
+    {
+        return usesCompression() ? fault::DisableGranularity::Byte
+                                 : fault::DisableGranularity::Frame;
+    }
+
+    /**
+     * NVM-unaware policies (BH, BH_CP) pick the victim with a single
+     * (Fit-)LRU over all 16 ways instead of steering to a part first.
+     */
+    virtual bool globalReplacement() const { return false; }
+
+    /**
+     * CA_RWR-family: an SRAM victim that has shown read reuse is migrated
+     * into the NVM part instead of being dropped (paper Sec. IV-B).
+     */
+    virtual bool migrateReadReuseOnSramEviction() const { return false; }
+
+    /**
+     * LHybrid: on SRAM replacement, the MRU loop-block (if any) is
+     * migrated to NVM to free its frame (paper Sec. II-C).
+     */
+    virtual bool lhybridSramReplacement() const { return false; }
+
+    /** Whether the LLC must run the Set Dueling machinery. */
+    virtual bool usesSetDueling() const { return false; }
+
+    /** Th parameter of the CP_SD_Th rule (0 for plain CP_SD). */
+    virtual double thPercent() const { return 0.0; }
+
+    /** Tw parameter of the CP_SD_Th rule (Sec. IV-D). */
+    virtual double twPercent() const { return 5.0; }
+
+    /** Instantiate the policy implementing @p kind. */
+    static std::unique_ptr<InsertionPolicy>
+    create(PolicyKind kind, const PolicyParams &params = {});
+};
+
+} // namespace hllc::hybrid
+
+#endif // HLLC_HYBRID_INSERTION_POLICY_HH

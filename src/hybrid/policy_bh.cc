@@ -1,0 +1,29 @@
+#include "hybrid/policy_bh.hh"
+
+namespace hllc::hybrid
+{
+
+// Global-replacement policies never steer by part: the LLC's victim
+// search decides where the block lands. choosePart() is only consulted as
+// a tie-break default and answers "wherever" (Sram keeps the all-SRAM
+// bound and empty-NVM corner cases trivially correct).
+
+Part
+BhPolicy::choosePart(const InsertContext &) const
+{
+    return Part::Sram;
+}
+
+Part
+BhCpPolicy::choosePart(const InsertContext &) const
+{
+    return Part::Sram;
+}
+
+Part
+SramOnlyPolicy::choosePart(const InsertContext &) const
+{
+    return Part::Sram;
+}
+
+} // namespace hllc::hybrid

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The NVM-unaware baselines: BH and BH_CP (paper Table III, Sec. II-D,
+ * Sec. V-B).
+ *
+ * BH manages one global LRU list per set over all 16 ways and writes
+ * blocks uncompressed wherever the LRU way lies; its NVM frames retire at
+ * frame granularity. BH_CP adds compression and byte disabling: the
+ * victim is the LRU line among frames whose effective capacity fits the
+ * incoming ECB (global Fit-LRU), but it remains oblivious to NVM wear.
+ */
+
+#ifndef HLLC_HYBRID_POLICY_BH_HH
+#define HLLC_HYBRID_POLICY_BH_HH
+
+#include "hybrid/insertion_policy.hh"
+
+namespace hllc::hybrid
+{
+
+/** Baseline hybrid: NVM-unaware, uncompressed, global LRU. */
+class BhPolicy : public InsertionPolicy
+{
+  public:
+    PolicyKind kind() const override { return PolicyKind::Bh; }
+    Part choosePart(const InsertContext &ctx) const override;
+    bool usesCompression() const override { return false; }
+    bool globalReplacement() const override { return true; }
+};
+
+/** BH + compression + byte disabling (global Fit-LRU). */
+class BhCpPolicy : public InsertionPolicy
+{
+  public:
+    PolicyKind kind() const override { return PolicyKind::BhCp; }
+    Part choosePart(const InsertContext &ctx) const override;
+    bool usesCompression() const override { return true; }
+    bool globalReplacement() const override { return true; }
+};
+
+/** Performance bound: an all-SRAM LLC of the same associativity. */
+class SramOnlyPolicy : public InsertionPolicy
+{
+  public:
+    PolicyKind kind() const override { return PolicyKind::SramOnly; }
+    Part choosePart(const InsertContext &ctx) const override;
+    bool usesCompression() const override { return false; }
+    bool globalReplacement() const override { return true; }
+};
+
+} // namespace hllc::hybrid
+
+#endif // HLLC_HYBRID_POLICY_BH_HH

@@ -1,0 +1,29 @@
+#include "hybrid/policy_ca.hh"
+
+namespace hllc::hybrid
+{
+
+Part
+CaPolicy::choosePart(const InsertContext &ctx) const
+{
+    // ctx.cpth carries this set's threshold: the fixed value for CA, the
+    // dueling-selected one for the CP_SD family.
+    return ctx.ecbBytes <= ctx.cpth ? Part::Nvm : Part::Sram;
+}
+
+Part
+CaRwrPolicy::choosePart(const InsertContext &ctx) const
+{
+    // Paper Table II.
+    switch (ctx.reuse) {
+      case ReuseClass::Read:
+        return Part::Nvm;   // long-lived resident, protects the frame
+      case ReuseClass::Write:
+        return Part::Sram;  // will be invalidated and rewritten soon
+      case ReuseClass::None:
+        return CaPolicy::choosePart(ctx);
+    }
+    return Part::Sram;
+}
+
+} // namespace hllc::hybrid

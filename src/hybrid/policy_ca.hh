@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The compression-aware insertion policies CA and CA_RWR with a fixed
+ * compression threshold (paper Sec. IV-A/B), and the Set-Dueling variants
+ * CP_SD / CP_SD_Th that reuse CA_RWR's decision with a runtime CPth
+ * (Sec. IV-C/D).
+ */
+
+#ifndef HLLC_HYBRID_POLICY_CA_HH
+#define HLLC_HYBRID_POLICY_CA_HH
+
+#include "hybrid/insertion_policy.hh"
+
+namespace hllc::hybrid
+{
+
+/**
+ * Naive compression-aware insertion: small blocks (ECB <= CPth) go to
+ * NVM, big blocks to SRAM; both parts use local (Fit-)LRU replacement.
+ */
+class CaPolicy : public InsertionPolicy
+{
+  public:
+    explicit CaPolicy(unsigned fixed_cpth) : cpth_(fixed_cpth) {}
+
+    PolicyKind kind() const override { return PolicyKind::Ca; }
+    Part choosePart(const InsertContext &ctx) const override;
+    bool usesCompression() const override { return true; }
+
+    unsigned fixedCpth() const { return cpth_; }
+
+  protected:
+    unsigned cpth_;
+};
+
+/**
+ * Compression + read/write-reuse aware insertion (paper Table II):
+ * read-reused blocks go to NVM regardless of size, write-reused blocks to
+ * SRAM regardless of size, non-reused blocks by compressed size; SRAM
+ * victims with read reuse migrate to NVM on eviction.
+ */
+class CaRwrPolicy : public CaPolicy
+{
+  public:
+    explicit CaRwrPolicy(unsigned fixed_cpth) : CaPolicy(fixed_cpth) {}
+
+    PolicyKind kind() const override { return PolicyKind::CaRwr; }
+    Part choosePart(const InsertContext &ctx) const override;
+    bool migrateReadReuseOnSramEviction() const override { return true; }
+};
+
+} // namespace hllc::hybrid
+
+#endif // HLLC_HYBRID_POLICY_CA_HH

@@ -1,0 +1,9 @@
+#include "hybrid/policy_cpsd.hh"
+
+// CP_SD's behaviour is fully described by the CaRwr decision plus the
+// Set Dueling flags declared inline; this translation unit anchors the
+// vtables.
+
+namespace hllc::hybrid
+{
+} // namespace hllc::hybrid

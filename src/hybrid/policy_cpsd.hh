@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CP_SD and CP_SD_Th: CA_RWR steering with the compression threshold
+ * chosen at runtime by Set Dueling (paper Sec. IV-C/D). The dueling
+ * machinery itself lives in the LLC (it needs set-level visibility); the
+ * policy object declares that it must be enabled and carries the Th/Tw
+ * rule parameters.
+ */
+
+#ifndef HLLC_HYBRID_POLICY_CPSD_HH
+#define HLLC_HYBRID_POLICY_CPSD_HH
+
+#include "hybrid/policy_ca.hh"
+
+namespace hllc::hybrid
+{
+
+/** CP_SD: performance-optimized Set Dueling (max-hits winner). */
+class CpSdPolicy : public CaRwrPolicy
+{
+  public:
+    CpSdPolicy() : CaRwrPolicy(0) {}
+
+    PolicyKind kind() const override { return PolicyKind::CpSd; }
+    bool usesSetDueling() const override { return true; }
+};
+
+/**
+ * CP_SD_Th: the rule-based variant that sacrifices up to Th% hits when a
+ * candidate reduces NVM bytes written by at least Tw% (Eq. (1)).
+ */
+class CpSdThPolicy : public CpSdPolicy
+{
+  public:
+    CpSdThPolicy(double th_percent, double tw_percent)
+        : th_(th_percent), tw_(tw_percent)
+    {}
+
+    PolicyKind kind() const override { return PolicyKind::CpSdTh; }
+    double thPercent() const override { return th_; }
+    double twPercent() const override { return tw_; }
+
+  private:
+    double th_;
+    double tw_;
+};
+
+} // namespace hllc::hybrid
+
+#endif // HLLC_HYBRID_POLICY_CPSD_HH

@@ -1,0 +1,16 @@
+#include "hybrid/policy_lhybrid.hh"
+
+namespace hllc::hybrid
+{
+
+Part
+LHybridPolicy::choosePart(const InsertContext &ctx) const
+{
+    // A block evicted from L2 and tagged LB (read-reused) enters the NVM
+    // part; NLB blocks enter SRAM. A dirty Put can never be a loop-block.
+    if (!ctx.dirty && ctx.reuse == ReuseClass::Read)
+        return Part::Nvm;
+    return Part::Sram;
+}
+
+} // namespace hllc::hybrid

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * LHybrid [9], the loop-block-aware state-of-the-art insertion policy
+ * (paper Sec. II-C), implemented in the fault-aware environment with
+ * frame disabling as the paper's comparison methodology requires.
+ *
+ * Loop-blocks (clean blocks that showed read reuse in the LLC) are the
+ * ideal NVM residents: LHybrid inserts them into the NVM part and steers
+ * every non-loop-block to SRAM. SRAM replacement first migrates the MRU
+ * loop-block to NVM to free a frame; otherwise the plain LRU is evicted.
+ */
+
+#ifndef HLLC_HYBRID_POLICY_LHYBRID_HH
+#define HLLC_HYBRID_POLICY_LHYBRID_HH
+
+#include "hybrid/insertion_policy.hh"
+
+namespace hllc::hybrid
+{
+
+class LHybridPolicy : public InsertionPolicy
+{
+  public:
+    PolicyKind kind() const override { return PolicyKind::LHybrid; }
+    Part choosePart(const InsertContext &ctx) const override;
+    bool usesCompression() const override { return false; }
+    bool lhybridSramReplacement() const override { return true; }
+};
+
+} // namespace hllc::hybrid
+
+#endif // HLLC_HYBRID_POLICY_LHYBRID_HH

@@ -1,0 +1,17 @@
+#include "hybrid/policy_tap.hh"
+
+namespace hllc::hybrid
+{
+
+Part
+TapPolicy::choosePart(const InsertContext &ctx) const
+{
+    // Clean thrashing-blocks only: reuse beyond the threshold, clean copy.
+    if (!ctx.dirty && ctx.reuse != ReuseClass::Write &&
+        ctx.hits >= hitThreshold_) {
+        return Part::Nvm;
+    }
+    return Part::Sram;
+}
+
+} // namespace hllc::hybrid

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * TAP [32], the thrashing-aware state-of-the-art insertion policy (paper
+ * Sec. II-C), in the fault-aware frame-disabling environment.
+ *
+ * TAP is more conservative than LHybrid: a block must be clean AND have
+ * hit in the LLC more than a threshold number of times (a clean
+ * thrashing-block) to be inserted in the NVM part; everything else goes
+ * to SRAM.
+ */
+
+#ifndef HLLC_HYBRID_POLICY_TAP_HH
+#define HLLC_HYBRID_POLICY_TAP_HH
+
+#include "hybrid/insertion_policy.hh"
+
+namespace hllc::hybrid
+{
+
+class TapPolicy : public InsertionPolicy
+{
+  public:
+    explicit TapPolicy(unsigned hit_threshold)
+        : hitThreshold_(hit_threshold)
+    {}
+
+    PolicyKind kind() const override { return PolicyKind::Tap; }
+    Part choosePart(const InsertContext &ctx) const override;
+    bool usesCompression() const override { return false; }
+
+    unsigned hitThreshold() const { return hitThreshold_; }
+
+  private:
+    unsigned hitThreshold_;
+};
+
+} // namespace hllc::hybrid
+
+#endif // HLLC_HYBRID_POLICY_TAP_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Block reuse bookkeeping shared by every insertion policy.
+ *
+ * The paper tags blocks (in both L2 and LLC) with their reuse class; the
+ * tag travels with the block and is reset when the block re-enters the
+ * hierarchy from main memory. This tracker centralises that state, keyed
+ * by block number, and also maintains the per-block LLC hit count that
+ * TAP's thrashing classification needs.
+ */
+
+#ifndef HLLC_HYBRID_REUSE_TRACKER_HH
+#define HLLC_HYBRID_REUSE_TRACKER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "hybrid/types.hh"
+
+namespace hllc::hybrid
+{
+
+class ReuseTracker
+{
+  public:
+    /** Reuse class of @p block (None if never seen). */
+    ReuseClass classOf(Addr block) const
+    {
+        auto it = map_.find(block);
+        return it == map_.end() ? ReuseClass::None : it->second.reuse;
+    }
+
+    /** LLC hits accumulated by @p block since its last memory fetch. */
+    unsigned hitsOf(Addr block) const
+    {
+        auto it = map_.find(block);
+        return it == map_.end() ? 0 : it->second.hits;
+    }
+
+    /**
+     * An LLC hit reclassifies the block: GetX hits and hits on dirty
+     * copies mean write reuse; GetS hits on clean copies mean read reuse
+     * (LHybrid's loop-block condition).
+     */
+    void
+    onLlcHit(Addr block, bool getx, bool copy_dirty)
+    {
+        Info &info = map_[block];
+        if (info.hits < 0xffff)
+            ++info.hits;
+        info.reuse = (getx || copy_dirty) ? ReuseClass::Write
+                                          : ReuseClass::Read;
+    }
+
+    /**
+     * The block missed the whole hierarchy and is being refetched from
+     * memory: its reuse history is discarded (blocks enter L2 as
+     * non-reused / NLB).
+     */
+    void onMemoryFetch(Addr block) { map_.erase(block); }
+
+    /** Number of blocks currently tracked. */
+    std::size_t size() const { return map_.size(); }
+
+    /** Drop all state (fresh replay). */
+    void clear() { map_.clear(); }
+
+  private:
+    struct Info
+    {
+        ReuseClass reuse = ReuseClass::None;
+        std::uint16_t hits = 0;
+    };
+
+    std::unordered_map<Addr, Info> map_;
+};
+
+} // namespace hllc::hybrid
+
+#endif // HLLC_HYBRID_REUSE_TRACKER_HH

@@ -1,0 +1,128 @@
+#include "hybrid/set_dueling.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hllc::hybrid
+{
+
+namespace
+{
+
+/** Sets are striped over 32 dueling slots (paper: groups of N/32 sets). */
+constexpr std::uint32_t duelingSlots = 32;
+
+} // anonymous namespace
+
+SetDueling::SetDueling(std::uint32_t num_sets,
+                       std::vector<unsigned> candidates,
+                       Cycle epoch_cycles,
+                       double th_percent,
+                       double tw_percent)
+    : candidates_(std::move(candidates)),
+      epochCycles_(epoch_cycles),
+      th_(th_percent),
+      tw_(tw_percent)
+{
+    HLLC_ASSERT(!candidates_.empty());
+    HLLC_ASSERT(std::is_sorted(candidates_.begin(), candidates_.end()));
+    HLLC_ASSERT(candidates_.size() <= duelingSlots);
+    HLLC_ASSERT(num_sets >= duelingSlots,
+                "need at least %u sets for set dueling", duelingSlots);
+    HLLC_ASSERT(epoch_cycles > 0);
+    HLLC_ASSERT(th_ >= 0.0 && tw_ >= 0.0);
+
+    // Start following the largest CPth: closest to the unconstrained
+    // (BH-like) insertion behaviour until the first epoch resolves.
+    winner_ = candidates_.back();
+    hits_.assign(candidates_.size(), 0);
+    bytes_.assign(candidates_.size(), 0);
+}
+
+int
+SetDueling::leaderGroup(std::uint32_t set) const
+{
+    const std::uint32_t slot = set % duelingSlots;
+    return slot < candidates_.size() ? static_cast<int>(slot) : -1;
+}
+
+unsigned
+SetDueling::cpthForSet(std::uint32_t set) const
+{
+    const int group = leaderGroup(set);
+    return group < 0 ? winner_
+                     : candidates_[static_cast<std::size_t>(group)];
+}
+
+void
+SetDueling::recordHit(std::uint32_t set)
+{
+    const int group = leaderGroup(set);
+    if (group >= 0)
+        ++hits_[static_cast<std::size_t>(group)];
+}
+
+void
+SetDueling::recordNvmBytes(std::uint32_t set, unsigned bytes)
+{
+    const int group = leaderGroup(set);
+    if (group >= 0)
+        bytes_[static_cast<std::size_t>(group)] += bytes;
+}
+
+bool
+SetDueling::tick(Cycle cycles)
+{
+    clock_ += cycles;
+    bool crossed = false;
+    while (clock_ >= epochCycles_) {
+        clock_ -= epochCycles_;
+        closeEpoch();
+        crossed = true;
+    }
+    return crossed;
+}
+
+void
+SetDueling::closeEpoch()
+{
+    ++epochs_;
+
+    std::uint64_t total_hits = 0;
+    for (auto h : hits_)
+        total_hits += h;
+
+    if (total_hits > 0) {
+        // i: the candidate with the maximum number of hits.
+        std::size_t i = 0;
+        for (std::size_t c = 1; c < candidates_.size(); ++c) {
+            if (hits_[c] > hits_[i])
+                i = c;
+        }
+
+        std::size_t chosen = i;
+        if (th_ > 0.0) {
+            // Eq. (1): smallest CPth j trading <= Th% hits for >= Tw%
+            // fewer NVM bytes written.
+            const double h_floor =
+                static_cast<double>(hits_[i]) * (1.0 - th_ / 100.0);
+            const double w_ceil =
+                static_cast<double>(bytes_[i]) * (1.0 - tw_ / 100.0);
+            for (std::size_t j = 0; j < candidates_.size(); ++j) {
+                if (static_cast<double>(hits_[j]) > h_floor &&
+                    static_cast<double>(bytes_[j]) < w_ceil) {
+                    chosen = j;
+                    break;
+                }
+            }
+        }
+        winner_ = candidates_[chosen];
+        winnerHistory_.push_back(winner_);
+    }
+
+    std::fill(hits_.begin(), hits_.end(), 0);
+    std::fill(bytes_.begin(), bytes_.end(), 0);
+}
+
+} // namespace hllc::hybrid

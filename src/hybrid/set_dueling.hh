@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Set Dueling machinery for runtime CPth selection (paper Sec. IV-C/D).
+ *
+ * Each candidate CPth value owns a leader group of numSets/32 sample sets
+ * (sets whose index modulo 32 equals the candidate's rank); all remaining
+ * sets follow the winning candidate. Leader groups accumulate LLC hits and
+ * NVM bytes written; at every epoch boundary (2M cycles by default) the
+ * winner is recomputed:
+ *
+ *  - CP_SD (th == 0): the candidate with the most hits wins.
+ *  - CP_SD_Th: starting from the max-hits candidate i, the smallest
+ *    candidate j satisfying  H(j) > H(i)*(1 - Th/100)  and
+ *    W(j) < W(i)*(1 - Tw/100)  wins (Eq. (1)); if none qualifies, i wins.
+ */
+
+#ifndef HLLC_HYBRID_SET_DUELING_HH
+#define HLLC_HYBRID_SET_DUELING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hllc::hybrid
+{
+
+class SetDueling
+{
+  public:
+    /**
+     * @param num_sets LLC sets (leader groups are sets mod 32)
+     * @param candidates CPth values to duel, ascending
+     * @param epoch_cycles epoch length
+     * @param th_percent hits we are willing to sacrifice (Th); 0 = CP_SD
+     * @param tw_percent minimum NVM-bytes-written reduction (Tw)
+     */
+    SetDueling(std::uint32_t num_sets,
+               std::vector<unsigned> candidates,
+               Cycle epoch_cycles,
+               double th_percent,
+               double tw_percent);
+
+    /** Leader-group index of @p set, or -1 for follower sets. */
+    int leaderGroup(std::uint32_t set) const;
+
+    /** CPth this set applies right now. */
+    unsigned cpthForSet(std::uint32_t set) const;
+
+    /** Currently winning CPth (what follower sets use). */
+    unsigned winner() const { return winner_; }
+
+    /** Record an LLC hit in @p set (leaders only accumulate). */
+    void recordHit(std::uint32_t set);
+
+    /** Record @p bytes written to the NVM part in @p set. */
+    void recordNvmBytes(std::uint32_t set, unsigned bytes);
+
+    /**
+     * Advance the epoch clock by @p cycles; recomputes the winner at each
+     * epoch boundary. @return true if an epoch boundary was crossed.
+     */
+    bool tick(Cycle cycles);
+
+    /** Epochs completed so far. */
+    std::uint64_t epochsCompleted() const { return epochs_; }
+
+    const std::vector<unsigned> &candidates() const { return candidates_; }
+
+    /** Per-candidate hits of the current (unfinished) epoch. */
+    const std::vector<std::uint64_t> &epochHits() const { return hits_; }
+    /** Per-candidate NVM bytes written of the current epoch. */
+    const std::vector<std::uint64_t> &epochBytes() const { return bytes_; }
+
+    /** Force an epoch boundary immediately (tests / epoch studies). */
+    void closeEpoch();
+
+    /**
+     * Per-epoch winners (epochs with no hits are skipped): the basis of
+     * the paper's optimal-CPth distribution study (Fig. 8).
+     */
+    const std::vector<unsigned> &winnerHistory() const
+    {
+        return winnerHistory_;
+    }
+
+  private:
+    std::vector<unsigned> candidates_;
+    Cycle epochCycles_;
+    double th_;
+    double tw_;
+
+    unsigned winner_;
+    Cycle clock_ = 0;
+    std::uint64_t epochs_ = 0;
+    std::vector<std::uint64_t> hits_;
+    std::vector<std::uint64_t> bytes_;
+    std::vector<unsigned> winnerHistory_;
+};
+
+} // namespace hllc::hybrid
+
+#endif // HLLC_HYBRID_SET_DUELING_HH

@@ -1,0 +1,142 @@
+#include "replay/llc_trace.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace hllc::replay
+{
+
+namespace
+{
+
+constexpr std::uint32_t traceMagic = 0x484c4c54; // "HLLT"
+constexpr std::uint32_t traceVersion = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+writeOrDie(const void *data, std::size_t size, std::FILE *f,
+           const std::string &path)
+{
+    if (std::fwrite(data, 1, size, f) != size)
+        fatal("short write to trace file '%s'", path.c_str());
+}
+
+void
+readOrDie(void *data, std::size_t size, std::FILE *f,
+          const std::string &path)
+{
+    if (std::fread(data, 1, size, f) != size)
+        fatal("truncated trace file '%s'", path.c_str());
+}
+
+/** On-disk event record (packed, little-endian host assumed). */
+struct DiskEvent
+{
+    std::uint64_t blockNum;
+    std::uint8_t type;
+    std::uint8_t ecbBytes;
+    std::uint8_t core;
+    std::uint8_t pad = 0;
+};
+
+/** On-disk per-core metadata. */
+struct DiskCoreMeta
+{
+    std::uint64_t instructions;
+    std::uint64_t refs;
+    std::uint64_t l1Hits;
+    std::uint64_t l2Hits;
+    std::uint64_t llcDemands;
+    double baseCpi;
+};
+
+} // anonymous namespace
+
+void
+LlcTrace::save(const std::string &path) const
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+
+    writeOrDie(&traceMagic, sizeof(traceMagic), f.get(), path);
+    writeOrDie(&traceVersion, sizeof(traceVersion), f.get(), path);
+
+    const auto name_len =
+        static_cast<std::uint32_t>(meta_.mixName.size());
+    writeOrDie(&name_len, sizeof(name_len), f.get(), path);
+    writeOrDie(meta_.mixName.data(), name_len, f.get(), path);
+
+    for (const CoreMeta &core : meta_.cores) {
+        const DiskCoreMeta m{ core.instructions, core.refs, core.l1Hits,
+                              core.l2Hits, core.llcDemands,
+                              core.baseCpi };
+        writeOrDie(&m, sizeof(m), f.get(), path);
+    }
+
+    const auto count = static_cast<std::uint64_t>(events_.size());
+    writeOrDie(&count, sizeof(count), f.get(), path);
+    for (const hybrid::LlcEvent &ev : events_) {
+        const DiskEvent d{ ev.blockNum,
+                           static_cast<std::uint8_t>(ev.type),
+                           ev.ecbBytes, ev.core };
+        writeOrDie(&d, sizeof(d), f.get(), path);
+    }
+}
+
+LlcTrace
+LlcTrace::load(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    std::uint32_t magic = 0, version = 0;
+    readOrDie(&magic, sizeof(magic), f.get(), path);
+    readOrDie(&version, sizeof(version), f.get(), path);
+    if (magic != traceMagic)
+        fatal("'%s' is not an hllc trace file", path.c_str());
+    if (version != traceVersion)
+        fatal("trace file '%s' has unsupported version %u",
+              path.c_str(), version);
+
+    LlcTrace trace;
+    std::uint32_t name_len = 0;
+    readOrDie(&name_len, sizeof(name_len), f.get(), path);
+    if (name_len > 4096)
+        fatal("corrupt trace file '%s'", path.c_str());
+    trace.meta_.mixName.resize(name_len);
+    readOrDie(trace.meta_.mixName.data(), name_len, f.get(), path);
+
+    for (CoreMeta &core : trace.meta_.cores) {
+        DiskCoreMeta m{};
+        readOrDie(&m, sizeof(m), f.get(), path);
+        core.instructions = m.instructions;
+        core.refs = m.refs;
+        core.l1Hits = m.l1Hits;
+        core.l2Hits = m.l2Hits;
+        core.llcDemands = m.llcDemands;
+        core.baseCpi = m.baseCpi;
+    }
+
+    std::uint64_t count = 0;
+    readOrDie(&count, sizeof(count), f.get(), path);
+    trace.events_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        DiskEvent d{};
+        readOrDie(&d, sizeof(d), f.get(), path);
+        trace.events_.push_back(hybrid::LlcEvent{
+            d.blockNum, static_cast<hybrid::LlcEventType>(d.type),
+            d.ecbBytes, d.core });
+    }
+    return trace;
+}
+
+} // namespace hllc::replay

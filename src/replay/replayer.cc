@@ -1,0 +1,84 @@
+#include "replay/replayer.hh"
+
+#include "common/logging.hh"
+
+namespace hllc::replay
+{
+
+using hybrid::AccessOutcome;
+using hybrid::LlcEvent;
+using hybrid::LlcEventType;
+
+TraceReplayer::TraceReplayer(double warmup_fraction)
+    : warmupFraction_(warmup_fraction)
+{
+    HLLC_ASSERT(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
+}
+
+ReplayResult
+TraceReplayer::replay(const LlcTrace &trace, hybrid::HybridLlc &llc) const
+{
+    llc.reset();
+    llc.resetStats();
+
+    ReplayResult result;
+    result.warmupFraction = warmupFraction_;
+
+    const auto &events = trace.events();
+    const std::size_t warmup_end = static_cast<std::size_t>(
+        warmupFraction_ * static_cast<double>(events.size()));
+
+    std::uint64_t nvm_writes_at_measure_start = 0;
+    std::uint64_t nvm_bytes_at_measure_start = 0;
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i == warmup_end) {
+            // Keep contents (that is the point of the warm-up) but drop
+            // the statistics accumulated so far.
+            llc.resetStats();
+            nvm_writes_at_measure_start = 0;
+            nvm_bytes_at_measure_start = 0;
+        }
+
+        const LlcEvent &ev = events[i];
+        const AccessOutcome outcome = llc.handle(ev);
+
+        if (i < warmup_end)
+            continue;
+
+        ++result.measuredEvents;
+        CoreOutcome &core = result.cores[ev.core % traceCores];
+
+        if (ev.type == LlcEventType::GetS ||
+            ev.type == LlcEventType::GetX) {
+            switch (outcome) {
+              case AccessOutcome::HitSram:
+                ++core.llcHitsSram;
+                break;
+              case AccessOutcome::HitNvm:
+                ++core.llcHitsNvm;
+                break;
+              case AccessOutcome::Miss:
+                ++core.llcMisses;
+                break;
+            }
+        } else {
+            // Attribute NVM write growth to the core issuing the Put.
+            const std::uint64_t writes =
+                llc.stats().counterValue("nvm_writes");
+            if (writes > nvm_writes_at_measure_start) {
+                core.nvmWrites += writes - nvm_writes_at_measure_start;
+            }
+            nvm_writes_at_measure_start = writes;
+        }
+    }
+
+    result.demandAccesses = llc.demandAccesses();
+    result.demandHits = llc.demandHits();
+    result.hitRate = llc.hitRate();
+    result.nvmBytesWritten =
+        llc.nvmBytesWritten() - nvm_bytes_at_measure_start;
+    return result;
+}
+
+} // namespace hllc::replay

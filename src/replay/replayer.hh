@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fast trace-driven LLC simulation (the HyCSim analogue, paper Sec. V-A).
+ *
+ * Replays a captured LLC trace against a HybridLlc instance, with an
+ * optional warm-up prefix excluded from statistics, and returns per-core
+ * outcome counts plus an LLC stats snapshot. The replayer never touches
+ * the fault map's wear directly: the LLC records byte writes against it,
+ * and the forecast layer decides how to age them.
+ */
+
+#ifndef HLLC_REPLAY_REPLAYER_HH
+#define HLLC_REPLAY_REPLAYER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "hybrid/hybrid_llc.hh"
+#include "replay/llc_trace.hh"
+
+namespace hllc::replay
+{
+
+/** Measured-window outcome counts of one core. */
+struct CoreOutcome
+{
+    std::uint64_t llcHitsSram = 0;
+    std::uint64_t llcHitsNvm = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t nvmWrites = 0;   //!< NVM block writes from this core
+};
+
+/** Result of replaying one trace against one LLC configuration. */
+struct ReplayResult
+{
+    std::array<CoreOutcome, traceCores> cores;
+    std::uint64_t measuredEvents = 0;  //!< events after warm-up
+    std::uint64_t demandAccesses = 0;  //!< GetS + GetX after warm-up
+    std::uint64_t demandHits = 0;
+    std::uint64_t nvmBytesWritten = 0; //!< post-warm-up NVM byte writes
+    double hitRate = 0.0;
+
+    /** Fraction of the trace treated as warm-up. */
+    double warmupFraction = 0.0;
+};
+
+class TraceReplayer
+{
+  public:
+    /**
+     * @param warmup_fraction prefix of the trace replayed but excluded
+     *        from the returned statistics
+     */
+    explicit TraceReplayer(double warmup_fraction = 0.2);
+
+    /**
+     * Replay @p trace against @p llc. Resets the LLC's contents and stats
+     * first (dueling state and fault-map wear persist). Wear recorded in
+     * the fault map covers the whole replay including warm-up.
+     */
+    ReplayResult replay(const LlcTrace &trace, hybrid::HybridLlc &llc) const;
+
+  private:
+    double warmupFraction_;
+};
+
+} // namespace hllc::replay
+
+#endif // HLLC_REPLAY_REPLAYER_HH

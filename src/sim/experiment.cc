@@ -1,0 +1,233 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "hierarchy/hierarchy.hh"
+
+namespace hllc::sim
+{
+
+using forecast::ForecastEngine;
+using hybrid::PolicyKind;
+using replay::LlcTrace;
+
+Experiment::Experiment(SystemConfig config, std::size_t num_mixes)
+    : config_(config)
+{
+    const auto &mixes = workload::tableVMixes();
+    HLLC_ASSERT(num_mixes >= 1 && num_mixes <= mixes.size());
+
+    traces_.reserve(num_mixes);
+    for (std::size_t i = 0; i < num_mixes; ++i) {
+        inform("capturing %s (%llu refs/core)...",
+               mixes[i].name.c_str(),
+               static_cast<unsigned long long>(config_.refsPerCore));
+        traces_.push_back(hierarchy::captureTrace(
+            mixes[i], config_.llcBlocks(), config_.privateCaches,
+            config_.refsPerCore, config_.seed + i, config_.scheme));
+    }
+}
+
+std::vector<const LlcTrace *>
+Experiment::tracePtrs() const
+{
+    std::vector<const LlcTrace *> ptrs;
+    ptrs.reserve(traces_.size());
+    for (const auto &t : traces_)
+        ptrs.push_back(&t);
+    return ptrs;
+}
+
+std::vector<const LlcTrace *>
+Experiment::tracePtr(std::size_t mix) const
+{
+    return { &traces_.at(mix) };
+}
+
+fault::EnduranceModel
+Experiment::makeEndurance(const hybrid::HybridLlcConfig &llc) const
+{
+    // Same seed for the same geometry: every policy is forecast over an
+    // identical endurance fabric (the paper's fair-comparison setup).
+    Xoshiro256StarStar rng(config_.seed ^ 0xe17da1ceULL);
+    const fault::NvmGeometry geom{
+        llc.numSets, llc.nvmWays,
+        static_cast<std::uint32_t>(blockBytes)
+    };
+    return fault::EnduranceModel(geom, config_.endurance, rng);
+}
+
+ForecastSummary
+Experiment::runForecast(const hybrid::HybridLlcConfig &llc,
+                        std::string label,
+                        forecast::ForecastConfig fc) const
+{
+    const fault::EnduranceModel endurance = makeEndurance(llc);
+    ForecastEngine engine(endurance, llc, tracePtrs(), config_.timing,
+                          fc);
+
+    ForecastSummary summary;
+    summary.label = std::move(label);
+    summary.series = engine.run();
+    summary.lifetimeMonths =
+        ForecastEngine::lifetimeMonths(summary.series, fc.capacityFloor);
+    summary.initialIpc = ForecastEngine::initialIpc(summary.series);
+    return summary;
+}
+
+PhaseSummary
+Experiment::runPhase(const hybrid::HybridLlcConfig &llc, std::string label,
+                     double capacity,
+                     std::vector<const LlcTrace *> traces) const
+{
+    HLLC_ASSERT(capacity > 0.0 && capacity <= 1.0);
+    if (traces.empty())
+        traces = tracePtrs();
+
+    std::unique_ptr<fault::EnduranceModel> endurance;
+    std::unique_ptr<fault::FaultMap> map;
+    if (llc.nvmWays > 0) {
+        endurance =
+            std::make_unique<fault::EnduranceModel>(makeEndurance(llc));
+        const auto policy =
+            hybrid::InsertionPolicy::create(llc.policy, llc.params);
+        map = std::make_unique<fault::FaultMap>(*endurance,
+                                                policy->granularity());
+        if (capacity < 1.0)
+            degradeUniform(*map, capacity, config_.seed ^ 0xdeadULL);
+    }
+
+    hybrid::HybridLlc cache(llc, map.get());
+    PhaseSummary summary;
+    summary.label = std::move(label);
+    summary.aggregate =
+        forecast::replayAllTraces(traces, cache, config_.timing, 0.2);
+    if (cache.dueling() != nullptr)
+        summary.winnerHistory = cache.dueling()->winnerHistory();
+    return summary;
+}
+
+double
+Experiment::upperBoundIpc() const
+{
+    if (upperBoundIpc_ < 0.0) {
+        const auto llc = config_.llcConfigSramBound(config_.sramWays +
+                                                    config_.nvmWays);
+        hybrid::HybridLlc cache(llc, nullptr);
+        upperBoundIpc_ = forecast::replayAllTraces(
+            tracePtrs(), cache, config_.timing, 0.2).meanIpc;
+    }
+    return upperBoundIpc_;
+}
+
+void
+degradeUniform(fault::FaultMap &map, double capacity, std::uint64_t seed)
+{
+    Xoshiro256StarStar rng(seed);
+    const auto &geom = map.geometry();
+    const auto frames = geom.numFrames();
+    while (map.effectiveCapacity() > capacity) {
+        const auto frame =
+            static_cast<std::uint32_t>(rng.nextBounded(frames));
+        const auto byte =
+            static_cast<unsigned>(rng.nextBounded(geom.frameBytes));
+        map.killByte(frame, byte);
+    }
+}
+
+void
+printConfigHeader(const SystemConfig &config, const std::string &experiment)
+{
+    std::printf("# %s\n", experiment.c_str());
+    std::printf("# Table IV system: 4 cores @3.5GHz | "
+                "L1 %zuKB/%uw | L2 %zuKB/%uw | "
+                "LLC %u sets x (%uw SRAM + %uw NVM) x 64B | "
+                "endurance mu=%.2g cv=%.2f | scale=%.3g\n",
+                config.privateCaches.l1Bytes / 1024,
+                config.privateCaches.l1Ways,
+                config.privateCaches.l2Bytes / 1024,
+                config.privateCaches.l2Ways,
+                config.llcSets, config.sramWays, config.nvmWays,
+                config.endurance.meanWrites, config.endurance.cv,
+                config.scale);
+    std::printf("# latencies: LLC SRAM %llu | LLC NVM %llu (+decomp) | "
+                "NVM write %llu | mem %llu cycles\n",
+                static_cast<unsigned long long>(
+                    config.timing.llcSramLoadUse),
+                static_cast<unsigned long long>(
+                    config.timing.llcNvmLoadUse),
+                static_cast<unsigned long long>(
+                    config.timing.nvmWriteLatency),
+                static_cast<unsigned long long>(config.timing.memLatency));
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+void
+runAndPrintForecastStudy(const Experiment &experiment,
+                         const std::vector<StudyEntry> &entries,
+                         const forecast::ForecastConfig &fc)
+{
+    const SystemConfig &config = experiment.config();
+    const double upper = experiment.upperBoundIpc();
+    hybrid::HybridLlc lower_bound_llc(
+        config.llcConfigSramBound(config.sramWays), nullptr);
+    const double lower = forecast::replayAllTraces(
+        experiment.tracePtrs(), lower_bound_llc, config.timing,
+        0.2).meanIpc;
+
+    std::printf("# 16w-SRAM upper bound IPC %.4f (norm 1.000); "
+                "%uw-SRAM lower bound IPC %.4f (norm %.3f)\n",
+                upper, config.sramWays, lower,
+                upper > 0 ? lower / upper : 0.0);
+    std::printf("# months are simulated at scale %.3g; full-scale "
+                "equivalent = months x %.3g\n",
+                config.scale, config.fullScaleFactor());
+
+    std::vector<ForecastSummary> summaries;
+    summaries.reserve(entries.size());
+    for (const auto &entry : entries) {
+        inform("forecasting %s...", entry.label.c_str());
+        summaries.push_back(
+            experiment.runForecast(entry.llc, entry.label, fc));
+    }
+
+    std::printf("\n# time series (one row per forecast point)\n");
+    std::printf("%-12s %10s %10s %10s %10s\n", "policy", "months",
+                "fs.months", "capacity", "norm.IPC");
+    for (const auto &summary : summaries) {
+        for (const auto &point : summary.series) {
+            std::printf("%-12s %10.3f %10.2f %10.4f %10.4f\n",
+                        summary.label.c_str(), point.months(),
+                        point.months() * config.fullScaleFactor(),
+                        point.capacity,
+                        upper > 0 ? point.meanIpc / upper : 0.0);
+        }
+    }
+
+    const double bh_lifetime =
+        summaries.empty() ? 0.0 : summaries.front().lifetimeMonths;
+    std::printf("\n# summary (lifetime = months to 50%% NVM capacity)\n");
+    std::printf("%-12s %10s %10s %10s %10s %10s\n", "policy",
+                "init.IPC", "norm.IPC", "months", "fs.months",
+                "x-factor");
+    for (const auto &summary : summaries) {
+        std::printf("%-12s %10.4f %10.4f %10.3f %10.2f %10.2f\n",
+                    summary.label.c_str(), summary.initialIpc,
+                    upper > 0 ? summary.initialIpc / upper : 0.0,
+                    summary.lifetimeMonths,
+                    summary.lifetimeMonths * config.fullScaleFactor(),
+                    bh_lifetime > 0
+                        ? summary.lifetimeMonths / bh_lifetime
+                        : 0.0);
+    }
+}
+
+} // namespace hllc::sim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared experiment plumbing for the bench harnesses: one-time trace
+ * capture of the Table V mixes, forecast wrappers, single-phase replay
+ * studies (with optionally pre-degraded NVM capacity), and uniform
+ * printing of configuration headers and result rows.
+ */
+
+#ifndef HLLC_SIM_EXPERIMENT_HH
+#define HLLC_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "forecast/forecast.hh"
+#include "sim/config.hh"
+#include "workload/mixes.hh"
+
+namespace hllc::sim
+{
+
+/** Result of a policy forecast, ready for printing. */
+struct ForecastSummary
+{
+    std::string label;
+    std::vector<forecast::ForecastPoint> series;
+    double lifetimeMonths = 0.0;  //!< months to 50% NVM capacity
+    double initialIpc = 0.0;
+};
+
+/** Result of a single (no-aging) replay phase. */
+struct PhaseSummary
+{
+    std::string label;
+    forecast::PhaseAggregate aggregate;
+    /** Per-epoch max-hits CPth winners (Set Dueling policies only). */
+    std::vector<unsigned> winnerHistory;
+};
+
+class Experiment
+{
+  public:
+    /**
+     * Capture the LLC traces of the first @p num_mixes Table V mixes at
+     * @p config's scale (logged, as capture dominates start-up time).
+     */
+    explicit Experiment(SystemConfig config, std::size_t num_mixes = 10);
+
+    const SystemConfig &config() const { return config_; }
+    const std::vector<replay::LlcTrace> &traces() const { return traces_; }
+    std::vector<const replay::LlcTrace *> tracePtrs() const;
+    /** Traces restricted to one mix (per-mix studies, Fig. 8b). */
+    std::vector<const replay::LlcTrace *> tracePtr(std::size_t mix) const;
+
+    /** Deterministic endurance fabric for @p llc geometry. */
+    fault::EnduranceModel
+    makeEndurance(const hybrid::HybridLlcConfig &llc) const;
+
+    /** Forecast @p llc until 50% NVM capacity. */
+    ForecastSummary
+    runForecast(const hybrid::HybridLlcConfig &llc, std::string label,
+                forecast::ForecastConfig fc = {}) const;
+
+    /**
+     * One replay phase at a fixed NVM capacity (no aging): the Fig. 6/7/9
+     * hit-rate and bytes-written studies.
+     *
+     * @param capacity target NVM effective capacity in (0, 1]; bytes are
+     *        disabled uniformly at random to reach it (what intra-frame
+     *        wear leveling converges to)
+     * @param traces defaults to all mixes when empty
+     */
+    PhaseSummary
+    runPhase(const hybrid::HybridLlcConfig &llc, std::string label,
+             double capacity = 1.0,
+             std::vector<const replay::LlcTrace *> traces = {}) const;
+
+    /** Mean IPC of the 16-way SRAM upper bound (normalisation basis). */
+    double upperBoundIpc() const;
+
+  private:
+    SystemConfig config_;
+    std::vector<replay::LlcTrace> traces_;
+    mutable double upperBoundIpc_ = -1.0;
+};
+
+/**
+ * Disable uniformly-random live bytes of @p map until its effective
+ * capacity is at most @p capacity. Deterministic in @p seed.
+ */
+void degradeUniform(fault::FaultMap &map, double capacity,
+                    std::uint64_t seed);
+
+/** Print the Table IV configuration banner for a bench binary. */
+void printConfigHeader(const SystemConfig &config,
+                       const std::string &experiment);
+
+/** A labelled LLC configuration entering a forecast study. */
+struct StudyEntry
+{
+    std::string label;
+    hybrid::HybridLlcConfig llc;
+};
+
+/**
+ * Run the Fig. 1 / Fig. 10-11 methodology: forecast every entry until
+ * 50% NVM capacity, print each IPC/capacity time series (normalised to
+ * the 16-way SRAM upper bound) and a summary table with lifetimes in
+ * simulated and full-scale months plus the x-factor over the first
+ * entry (conventionally BH).
+ */
+void runAndPrintForecastStudy(const Experiment &experiment,
+                              const std::vector<StudyEntry> &entries,
+                              const forecast::ForecastConfig &fc = {});
+
+/** Format months with two decimals (avoids iostream noise in benches). */
+std::string fmt(double value, int decimals = 3);
+
+} // namespace hllc::sim
+
+#endif // HLLC_SIM_EXPERIMENT_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Full-system assembly: four cores with private stacks, the shared
+ * hybrid LLC, its fault/endurance models, and the timing layer — the
+ * gem5-analogue "detailed" simulation used by the examples and the
+ * library's quickstart API.
+ */
+
+#ifndef HLLC_SIM_SYSTEM_HH
+#define HLLC_SIM_SYSTEM_HH
+
+#include <memory>
+
+#include "fault/endurance.hh"
+#include "fault/fault_map.hh"
+#include "fault/wear_level.hh"
+#include "hierarchy/hierarchy.hh"
+#include "hierarchy/trace_recorder.hh"
+#include "hybrid/hybrid_llc.hh"
+#include "sim/config.hh"
+#include "workload/mixes.hh"
+
+namespace hllc::sim
+{
+
+class System
+{
+  public:
+    /**
+     * @param config scaled Table IV preset
+     * @param mix workload (one application per core)
+     * @param policy LLC insertion policy under test
+     */
+    System(const SystemConfig &config, const workload::MixSpec &mix,
+           hybrid::PolicyKind policy, hybrid::PolicyParams params = {});
+
+    /** Run @p refs_per_core references per core against the live LLC. */
+    void run(std::uint64_t refs_per_core);
+
+    /** Arithmetic mean of the four cores' IPC over the run. */
+    double meanIpc() const;
+
+    /** Per-core activity (event counts) of the last run. */
+    hierarchy::CoreActivity coreActivity(std::size_t core) const;
+
+    hybrid::HybridLlc &llc() { return *llc_; }
+    const hybrid::HybridLlc &llc() const { return *llc_; }
+    fault::FaultMap &faultMap() { return *faultMap_; }
+    const fault::EnduranceModel &endurance() const { return *endurance_; }
+    hierarchy::MixSimulation &mixSim() { return *mixSim_; }
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+    std::unique_ptr<fault::EnduranceModel> endurance_;
+    std::unique_ptr<fault::FaultMap> faultMap_;
+    std::unique_ptr<hybrid::HybridLlc> llc_;
+    std::unique_ptr<hierarchy::HybridLlcSink> sink_;
+    std::unique_ptr<hierarchy::MixSimulation> mixSim_;
+};
+
+} // namespace hllc::sim
+
+#endif // HLLC_SIM_SYSTEM_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Synthetic application models substituting for SPEC CPU 2006/2017 traces.
+ *
+ * The paper drives its evaluation with memory-intensive SPEC applications;
+ * those binaries/traces are not redistributable, so each application is
+ * replaced by a parameterised synthetic model that reproduces the
+ * behaviour the paper's mechanisms are sensitive to:
+ *
+ *  - LLC-level reuse classes: looping working sets (LHybrid loop-blocks /
+ *    read reuse), streaming/thrashing sweeps (no reuse), random pointer
+ *    chasing, and write-intensive regions (write reuse);
+ *  - the block-content compressibility profile of Figure 2, realised as
+ *    real 64-byte contents the BDI compressor sees.
+ *
+ * Working-set sizes are expressed relative to the LLC capacity so that
+ * scaled-down experiments (HLLC_SCALE) keep the same pressure ratios.
+ */
+
+#ifndef HLLC_WORKLOAD_APP_MODEL_HH
+#define HLLC_WORKLOAD_APP_MODEL_HH
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "compression/compressor.hh"
+#include "workload/block_synth.hh"
+
+namespace hllc::workload
+{
+
+/** One core-level memory reference. */
+struct MemRef
+{
+    Addr blockNum;  //!< block-granular address
+    bool write;
+};
+
+/** Static description of one synthetic application. */
+struct AppProfile
+{
+    std::string name;          //!< e.g. "zeusmp06"
+
+    /** @name Access-pattern mix (probabilities, sum <= 1) */
+    ///@{
+    double pLoop = 0.0;        //!< sweep over the loop working set
+    double pStream = 0.0;      //!< one-way sweep over the full footprint
+    double pRandom = 0.0;      //!< uniform over the full footprint
+    ///@}
+
+    /** Loop working-set size as a fraction of LLC capacity. */
+    double loopFactor = 0.25;
+    /**
+     * Fraction of loop accesses landing on a random loop block instead
+     * of the sweep cursor (real loops are not perfectly cyclic; without
+     * jitter, LRU over an oversized loop set degenerates to a 0% hit
+     * rate and loop-block detection can never bootstrap).
+     */
+    double loopJitter = 0.4;
+    /** Total footprint as a multiple of LLC capacity. */
+    double footprintFactor = 4.0;
+
+    /**
+     * Probability that a burst targets the write-cycle set: the hot,
+     * repeatedly rewritten state whose GetX-invalidate / Put-dirty
+     * round trips form the LLC's write-reuse traffic (paper Sec. IV-B).
+     */
+    double writeFraction = 0.1;
+    /**
+     * Write-cycle set size as a fraction of LLC capacity: past the
+     * private L2 (so rewrites round-trip through the LLC) but well
+     * inside the SRAM part's reach.
+     */
+    double writeSetFactor = 0.06;
+    /** Scales the residual dirtiness of non-write-cycle bursts. */
+    double loopWriteBias = 0.5;
+    /**
+     * Mean consecutive references to the same block (word-level spatial
+     * locality inside the 64 B line + register-pressure re-touches);
+     * this is what the private L1 filters.
+     */
+    double spatialBurst = 8.0;
+
+    /** Block-content compressibility (Figure 2). */
+    double hcrFraction = 0.49;
+    double lcrFraction = 0.29;
+    // incompressible = 1 - hcr - lcr
+
+    /** Memory references per instruction (timing model). */
+    double memIntensity = 0.3;
+    /** CPI of non-memory work on the 8-wide OoO core. */
+    double baseCpi = 0.4;
+};
+
+/**
+ * A running instance of an application: generates the reference stream
+ * and owns the (deterministic) contents of its blocks.
+ */
+class AppModel
+{
+  public:
+    /**
+     * @param profile static description
+     * @param addr_base start of this instance's address space (block
+     *        units); instances must not overlap
+     * @param llc_blocks LLC capacity in blocks (resolves the relative
+     *        working-set factors)
+     * @param rng private random stream
+     */
+    /**
+     * @param compressor scheme used to size block contents (shared
+     *        across the mix); BDI when null (the paper's choice)
+     */
+    AppModel(const AppProfile &profile, Addr addr_base,
+             std::uint64_t llc_blocks, Xoshiro256StarStar rng,
+             std::shared_ptr<const compression::BlockCompressor>
+                 compressor = nullptr);
+
+    /** Produce the next memory reference. */
+    MemRef next();
+
+    /** Compressibility category (target CE) of @p block. */
+    compression::Ce targetCeOf(Addr block) const;
+
+    /**
+     * ECB size of @p block's contents, via real compression of the
+     * synthesised data. Cached: content class is a per-block property, so
+     * the size is stable across rewrites of the same block.
+     */
+    unsigned ecbSizeOf(Addr block);
+
+    /** The compression scheme sizing this app's blocks. */
+    const compression::BlockCompressor &compressor() const
+    {
+        return *compressor_;
+    }
+
+    /** Materialise @p block's contents (version = write count). */
+    BlockData contentOf(Addr block, std::uint32_t version) const;
+
+    const AppProfile &profile() const { return profile_; }
+    Addr addrBase() const { return addrBase_; }
+    std::uint64_t footprintBlocks() const { return footprintBlocks_; }
+    std::uint64_t loopBlocks() const { return loopBlocks_; }
+    std::uint64_t writeBlocks() const { return writeBlocks_; }
+
+  private:
+    /** First block of the streaming region (after loop + write sets). */
+    Addr
+    streamStart() const
+    {
+        return (loopBlocks_ + writeBlocks_) % footprintBlocks_;
+    }
+
+    AppProfile profile_;
+    ContentMix mix_;
+    std::shared_ptr<const compression::BlockCompressor> compressor_;
+    Addr addrBase_;
+    std::uint64_t footprintBlocks_;
+    std::uint64_t loopBlocks_;
+    std::uint64_t writeBlocks_;
+    Xoshiro256StarStar rng_;
+    std::uint64_t contentSalt_;
+
+    Addr loopCursor_ = 0;
+    Addr streamCursor_ = 0;
+    Addr burstBlock_ = 0;
+    unsigned burstLeft_ = 0;
+    bool burstWrites_ = false;
+
+    /** blockNum -> cached ECB size. */
+    std::unordered_map<Addr, std::uint8_t> ecbCache_;
+};
+
+} // namespace hllc::workload
+
+#endif // HLLC_WORKLOAD_APP_MODEL_HH

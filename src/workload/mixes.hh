@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The ten multi-programmed workload mixes of paper Table V: four
+ * applications per mix, one per core.
+ */
+
+#ifndef HLLC_WORKLOAD_MIXES_HH
+#define HLLC_WORKLOAD_MIXES_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/app_model.hh"
+#include "workload/spec_profiles.hh"
+
+namespace hllc::workload
+{
+
+/** Number of cores / applications per mix. */
+inline constexpr std::size_t appsPerMix = 4;
+
+/** One row of Table V. */
+struct MixSpec
+{
+    std::string name;                               //!< "mix 1" ... "mix 10"
+    std::array<std::string, appsPerMix> apps;       //!< benchmark names
+};
+
+/** All ten mixes (Table V). */
+const std::vector<MixSpec> &tableVMixes();
+
+/**
+ * Instantiate the four AppModels of @p mix with disjoint address spaces
+ * and independent random streams derived from @p seed.
+ *
+ * @param llc_blocks LLC capacity in blocks (resolves working-set factors)
+ * @param scheme compression scheme sizing the block contents
+ */
+std::vector<std::unique_ptr<AppModel>>
+instantiateMix(const MixSpec &mix, std::uint64_t llc_blocks,
+               std::uint64_t seed,
+               compression::Scheme scheme = compression::Scheme::Bdi);
+
+} // namespace hllc::workload
+
+#endif // HLLC_WORKLOAD_MIXES_HH

@@ -1,0 +1,109 @@
+#include "workload/spec_profiles.hh"
+
+#include "common/logging.hh"
+
+namespace hllc::workload
+{
+
+namespace
+{
+
+/**
+ * Compact profile constructor. Arguments: name, pattern mix
+ * (loop/stream/random), loop set size (fraction of LLC), footprint
+ * (multiple of LLC), write fraction, loop-write bias, HCR/LCR fractions,
+ * memory intensity, base CPI.
+ */
+AppProfile
+make(std::string name, double p_loop, double p_stream, double p_random,
+     double loop_f, double foot_f, double wf, double bias, double hcr,
+     double lcr, double mi, double cpi)
+{
+    AppProfile p;
+    p.name = std::move(name);
+    p.pLoop = p_loop;
+    p.pStream = p_stream;
+    p.pRandom = p_random;
+    p.loopFactor = loop_f;
+    p.footprintFactor = foot_f;
+    p.writeFraction = wf;
+    p.loopWriteBias = bias;
+    p.hcrFraction = hcr;
+    p.lcrFraction = lcr;
+    p.memIntensity = mi;
+    p.baseCpi = cpi;
+    return p;
+}
+
+std::vector<AppProfile>
+buildProfiles()
+{
+    std::vector<AppProfile> v;
+    // Scientific loop kernels, highly compressible state (Fig. 2 left).
+    v.push_back(make("zeusmp06", .78, .15, .07, .20, 1.5, 0.23, .30,
+                     .88, .08, .35, .40));
+    v.push_back(make("GemsFDTD06", .65, .30, .05, .30, 2.5, 0.18, .25,
+                     .92, .06, .40, .45));
+    v.push_back(make("libquantum06", .45, .55, .00, .30, 4.0, 0.34, .25,
+                     .95, .04, .45, .40));
+    // Integer codes with moderate compressibility.
+    v.push_back(make("gobmk06", .55, .05, .40, .10, 0.8, 0.29, .35,
+                     .45, .30, .20, .50));
+    v.push_back(make("dealII06", .70, .12, .18, .15, 1.2, 0.23, .35,
+                     .55, .25, .30, .45));
+    v.push_back(make("bzip206", .55, .28, .17, .12, 1.8, 0.34, .30,
+                     .30, .20, .25, .45));
+    v.push_back(make("hmmer06", .80, .00, .20, .06, 0.4, 0.47, .70,
+                     .60, .20, .30, .40));
+    v.push_back(make("wrf06", .65, .25, .10, .18, 2.0, 0.23, .35,
+                     .50, .30, .30, .45));
+    v.push_back(make("roms17", .42, .50, .08, .15, 2.5, 0.29, .30,
+                     .50, .30, .35, .45));
+    v.push_back(make("cactuBSSN17", .68, .24, .08, .25, 2.0, 0.23, .35,
+                     .60, .25, .35, .45));
+    v.push_back(make("soplex06", .48, .12, .40, .20, 2.0, 0.18, .25,
+                     .50, .20, .40, .50));
+    v.push_back(make("omnetpp06", .40, .05, .55, .15, 2.5, 0.34, .30,
+                     .50, .20, .35, .55));
+    v.push_back(make("astar06", .48, .04, .48, .12, 1.5, 0.29, .30,
+                     .50, .25, .30, .50));
+    // Incompressible floating-point / compressed-data workloads.
+    v.push_back(make("milc06", .30, .60, .10, .15, 3.5, 0.29, .25,
+                     .00, .00, .40, .45));
+    v.push_back(make("xz17", .40, .15, .45, .15, 2.0, 0.34, .30,
+                     .00, .00, .30, .50));
+    // Pointer-heavy and streaming SPEC 2017 codes.
+    v.push_back(make("xalancbmk06", .55, .08, .37, .12, 1.8, 0.23, .30,
+                     .55, .20, .30, .50));
+    v.push_back(make("leslie3d06", .60, .32, .08, .20, 2.0, 0.29, .35,
+                     .60, .30, .35, .45));
+    v.push_back(make("bwaves17", .45, .47, .08, .25, 3.5, 0.23, .30,
+                     .55, .35, .45, .45));
+    v.push_back(make("mcf17", .40, .05, .55, .20, 4.0, 0.29, .30,
+                     .60, .15, .45, .60));
+    v.push_back(make("lbm17", .25, .65, .10, .10, 3.5, 0.52, .20,
+                     .20, .40, .40, .45));
+    return v;
+}
+
+} // anonymous namespace
+
+const std::vector<AppProfile> &
+specProfiles()
+{
+    static const std::vector<AppProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const AppProfile &
+profileByName(std::string_view name)
+{
+    for (const auto &p : specProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown application profile '%.*s'",
+          static_cast<int>(name.size()), name.data());
+}
+
+} // namespace hllc::workload

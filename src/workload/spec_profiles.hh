@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The twenty SPEC CPU 2006/2017 application stand-ins used by the paper's
+ * mixes (Table V).
+ *
+ * Profiles are synthetic estimates: compressibility fractions follow the
+ * qualitative shape of Figure 2 (GemsFDTD/zeusmp almost fully HCR,
+ * xz17/milc incompressible, ~49% HCR / ~29% LCR / ~22% incompressible on
+ * average) and access patterns reflect each benchmark's well-known LLC
+ * behaviour class (see DESIGN.md Sec. 2 for the substitution rationale).
+ */
+
+#ifndef HLLC_WORKLOAD_SPEC_PROFILES_HH
+#define HLLC_WORKLOAD_SPEC_PROFILES_HH
+
+#include <string_view>
+#include <vector>
+
+#include "workload/app_model.hh"
+
+namespace hllc::workload
+{
+
+/** All twenty application profiles. */
+const std::vector<AppProfile> &specProfiles();
+
+/** Profile by benchmark name; fatal() on unknown names. */
+const AppProfile &profileByName(std::string_view name);
+
+} // namespace hllc::workload
+
+#endif // HLLC_WORKLOAD_SPEC_PROFILES_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * BDI compressor/decompressor tests: hand-built blocks per encoding,
+ * parameterized encode/decode roundtrips, and random-content properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "compression/bdi.hh"
+#include "workload/block_synth.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::compression;
+
+BlockData
+blockOfValues(unsigned k, const std::vector<std::uint64_t> &values)
+{
+    BlockData data{};
+    for (std::size_t i = 0; i < values.size(); ++i)
+        std::memcpy(data.data() + i * k, &values[i], k);
+    return data;
+}
+
+TEST(Bdi, ZerosBlock)
+{
+    BlockData data{};
+    const auto r = BdiCompressor::compress(data);
+    EXPECT_EQ(r.ce, Ce::Zeros);
+    EXPECT_EQ(r.ecbBytes, 2u);
+    EXPECT_EQ(r.compressClass(), CompressClass::Hcr);
+}
+
+TEST(Bdi, RepeatedValueBlock)
+{
+    std::vector<std::uint64_t> values(8, 0xdeadbeefcafef00dULL);
+    const auto r = BdiCompressor::compress(blockOfValues(8, values));
+    EXPECT_EQ(r.ce, Ce::Rep8);
+    EXPECT_EQ(r.ecbBytes, 9u);
+}
+
+TEST(Bdi, SmallDeltasPickB8D1)
+{
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 8; ++i)
+        values.push_back(0x1000000000ULL + static_cast<unsigned>(i));
+    const auto r = BdiCompressor::compress(blockOfValues(8, values));
+    EXPECT_EQ(r.ce, Ce::B8D1);
+}
+
+TEST(Bdi, NegativeDeltasFit)
+{
+    // Deltas of -1 must fit in one signed byte.
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 8; ++i)
+        values.push_back(0x1000000000ULL - static_cast<unsigned>(i));
+    const auto r = BdiCompressor::compress(blockOfValues(8, values));
+    EXPECT_EQ(r.ce, Ce::B8D1);
+}
+
+TEST(Bdi, DeltaBoundaryBetweenD1AndD2)
+{
+    // +127 fits in 1 byte, +128 does not.
+    std::vector<std::uint64_t> fits(8, 0x55000000ULL);
+    fits[3] += 127;
+    EXPECT_EQ(BdiCompressor::compress(blockOfValues(8, fits)).ce,
+              Ce::B8D1);
+
+    std::vector<std::uint64_t> spills(8, 0x55000000ULL);
+    spills[3] += 128;
+    EXPECT_EQ(BdiCompressor::compress(blockOfValues(8, spills)).ce,
+              Ce::B8D2);
+}
+
+TEST(Bdi, UncompressibleRandomBlock)
+{
+    Xoshiro256StarStar rng(7);
+    BlockData data;
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    const auto r = BdiCompressor::compress(data);
+    EXPECT_EQ(r.ce, Ce::Uncompressed);
+    EXPECT_EQ(r.ecbBytes, 64u);
+}
+
+TEST(Bdi, CompressPicksSmallestApplicable)
+{
+    // A zero block is also Rep8/B8D1/...-applicable; Zeros must win.
+    BlockData data{};
+    EXPECT_TRUE(BdiCompressor::applicable(data, Ce::Rep8));
+    EXPECT_TRUE(BdiCompressor::applicable(data, Ce::B8D1));
+    EXPECT_EQ(BdiCompressor::compress(data).ce, Ce::Zeros);
+}
+
+TEST(Bdi, ApplicableUncompressedAlways)
+{
+    Xoshiro256StarStar rng(3);
+    for (int i = 0; i < 16; ++i) {
+        BlockData data;
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next());
+        EXPECT_TRUE(BdiCompressor::applicable(data, Ce::Uncompressed));
+    }
+}
+
+/** Encode/decode roundtrip across every encoding. */
+class BdiRoundtrip : public ::testing::TestWithParam<Ce>
+{
+};
+
+TEST_P(BdiRoundtrip, SynthesizedBlocksSurviveRoundtrip)
+{
+    const Ce ce = GetParam();
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        const BlockData data = workload::synthesizeBlock(ce, seed);
+        ASSERT_TRUE(BdiCompressor::applicable(data, ce))
+            << "seed " << seed;
+        const auto ecb = BdiCompressor::encode(data, ce);
+        EXPECT_EQ(ecb.size(), ecbSize(ce));
+        const BlockData back = BdiCompressor::decode(ce, ecb);
+        EXPECT_EQ(back, data) << "seed " << seed;
+    }
+}
+
+TEST_P(BdiRoundtrip, EncodeUsesChosenEncodingHeader)
+{
+    const Ce ce = GetParam();
+    const BlockData data = workload::synthesizeBlock(ce, 123);
+    const auto ecb = BdiCompressor::encode(data, ce);
+    if (ce != Ce::Uncompressed)
+        EXPECT_EQ(ecb[0], static_cast<std::uint8_t>(ce));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodings, BdiRoundtrip,
+    ::testing::Values(Ce::Zeros, Ce::Rep8, Ce::B8D1, Ce::B8D2, Ce::B8D3,
+                      Ce::B8D4, Ce::B8D5, Ce::B8D6, Ce::B8D7, Ce::B4D1,
+                      Ce::B4D2, Ce::B4D3, Ce::B2D1, Ce::Uncompressed),
+    [](const auto &info) {
+        return std::string(ceInfo(info.param).name);
+    });
+
+TEST(Bdi, RandomBlocksAlwaysRoundtripThroughBestEncoding)
+{
+    // Property: whatever compress() picks must decode to the original.
+    Xoshiro256StarStar rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        BlockData data;
+        // Mix structured and unstructured contents.
+        const int kind = static_cast<int>(rng.nextBounded(3));
+        if (kind == 0) {
+            const std::uint64_t base = rng.next();
+            for (unsigned i = 0; i < 8; ++i) {
+                const std::uint64_t v =
+                    base + (rng.nextBounded(1u << 16)) - (1u << 15);
+                std::memcpy(data.data() + i * 8, &v, 8);
+            }
+        } else if (kind == 1) {
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.nextBounded(4));
+        } else {
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+        }
+        const auto r = BdiCompressor::compress(data);
+        const auto ecb = BdiCompressor::encode(data, r.ce);
+        EXPECT_EQ(BdiCompressor::decode(r.ce, ecb), data);
+    }
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the common substrate: RNG determinism and distributions,
+ * stats containers, logging levels and address helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace
+{
+
+using namespace hllc;
+
+TEST(Types, BlockArithmetic)
+{
+    EXPECT_EQ(blockAlign(0x12345), 0x12340u);
+    EXPECT_EQ(blockNumber(0x12345), 0x48Du);
+    EXPECT_EQ(blockAlign(64), 64u);
+    EXPECT_EQ(blockNumber(63), 0u);
+}
+
+TEST(Types, TimeConversionsRoundtrip)
+{
+    const Cycle cycles = 3'500'000'000ull; // one second at 3.5 GHz
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(cycles), 1.0);
+    EXPECT_EQ(secondsToCycles(1.0), cycles);
+}
+
+TEST(Rng, Deterministic)
+{
+    Xoshiro256StarStar a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Xoshiro256StarStar a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Xoshiro256StarStar rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedRoughlyUniform)
+{
+    Xoshiro256StarStar rng(11);
+    std::array<int, 8> counts{};
+    const int trials = 80000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.nextBounded(8)];
+    for (int c : counts)
+        EXPECT_NEAR(c, trials / 8, trials / 8 / 5);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Xoshiro256StarStar rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Xoshiro256StarStar rng(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalCvRespectsFloor)
+{
+    Xoshiro256StarStar rng(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.nextNormalCv(10.0, 5.0, 1.0), 1.0);
+}
+
+TEST(Rng, NormalCvMoments)
+{
+    Xoshiro256StarStar rng(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    const double mu = 1e6, cv = 0.2;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextNormalCv(mu, cv);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double stddev = std::sqrt(sq / n - mean * mean);
+    EXPECT_NEAR(mean, mu, 0.01 * mu);
+    EXPECT_NEAR(stddev, cv * mu, 0.05 * cv * mu);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Xoshiro256StarStar root(31);
+    auto a = root.fork(0);
+    auto b = root.fork(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+    // Consecutive inputs land far apart (avalanche sanity).
+    EXPECT_GT(std::popcount(mix64(1) ^ mix64(2)), 16);
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, HistogramBucketsAndMean)
+{
+    Histogram h(4, 10.0);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(15.0);
+    h.sample(100.0); // clamped into the last bucket
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), (5.0 + 15.0 + 15.0 + 100.0) / 4.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Stats, GroupCreatesAndDumps)
+{
+    StatGroup g("test");
+    ++g.counter("a");
+    g.counter("b") += 7;
+    EXPECT_EQ(g.counterValue("a"), 1u);
+    EXPECT_EQ(g.counterValue("b"), 7u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("test.a 1"), std::string::npos);
+    EXPECT_NE(os.str().find("test.b 7"), std::string::npos);
+
+    g.resetAll();
+    EXPECT_EQ(g.counterValue("b"), 0u);
+}
+
+TEST(Logging, LevelsGate)
+{
+    const LogLevel old = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    // warn/inform must be safe no-ops at Quiet.
+    warn("suppressed %d", 1);
+    inform("suppressed %d", 2);
+    setLogLevel(old);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, AssertMacroAborts)
+{
+    EXPECT_DEATH(HLLC_ASSERT(1 == 2, "ctx %d", 7), "ctx 7");
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Cross-scheme BlockCompressor tests: interface contract, factory,
+ * bitstream utility, and scheme-agnostic integration with the workload
+ * layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitstream.hh"
+#include "common/rng.hh"
+#include "compression/compressor.hh"
+#include "workload/spec_profiles.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::compression;
+
+TEST(Bitstream, WriteReadRoundtrip)
+{
+    BitWriter writer;
+    writer.write(0b101, 3);
+    writer.write(0xdead, 16);
+    writer.write(1, 1);
+    writer.write(0x123456789abcdefull, 60);
+    EXPECT_EQ(writer.bitCount(), 80u);
+    EXPECT_EQ(writer.byteCount(), 10u);
+
+    BitReader reader(writer.bytes());
+    EXPECT_EQ(reader.read(3), 0b101u);
+    EXPECT_EQ(reader.read(16), 0xdeadu);
+    EXPECT_EQ(reader.read(1), 1u);
+    EXPECT_EQ(reader.read(60), 0x123456789abcdefull);
+}
+
+TEST(Bitstream, RandomizedChunks)
+{
+    Xoshiro256StarStar rng(9);
+    for (int trial = 0; trial < 50; ++trial) {
+        BitWriter writer;
+        std::vector<std::pair<std::uint64_t, unsigned>> chunks;
+        for (int c = 0; c < 40; ++c) {
+            const unsigned bits =
+                1 + static_cast<unsigned>(rng.nextBounded(64));
+            const std::uint64_t value =
+                bits == 64 ? rng.next()
+                           : rng.next() & ((1ull << bits) - 1);
+            chunks.emplace_back(value, bits);
+            writer.write(value, bits);
+        }
+        BitReader reader(writer.bytes());
+        for (const auto &[value, bits] : chunks)
+            EXPECT_EQ(reader.read(bits), value);
+    }
+}
+
+class CompressorContract : public ::testing::TestWithParam<Scheme>
+{
+};
+
+TEST_P(CompressorContract, RoundtripsWorkloadContents)
+{
+    const auto compressor = BlockCompressor::create(GetParam());
+    ASSERT_NE(compressor, nullptr);
+    EXPECT_EQ(compressor->scheme(), GetParam());
+
+    workload::AppModel app(workload::profileByName("dealII06"), 0, 2048,
+                           Xoshiro256StarStar(3));
+    for (Addr block = 0; block < 300; ++block) {
+        const BlockData data = app.contentOf(block, 0);
+        const unsigned size = compressor->ecbSize(data);
+        EXPECT_GE(size, 2u);
+        EXPECT_LE(size, 64u);
+        const auto ecb = compressor->compress(data);
+        EXPECT_EQ(ecb.size(), size);
+        EXPECT_EQ(compressor->decompress(ecb), data);
+    }
+}
+
+TEST_P(CompressorContract, ZeroBlockIsHighlyCompressible)
+{
+    const auto compressor = BlockCompressor::create(GetParam());
+    BlockData zeros{};
+    EXPECT_LE(compressor->ecbSize(zeros), 8u);
+}
+
+TEST_P(CompressorContract, DecompressionLatencyDeclared)
+{
+    const auto compressor = BlockCompressor::create(GetParam());
+    EXPECT_GE(compressor->decompressionCycles(), 1u);
+    EXPECT_LE(compressor->decompressionCycles(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, CompressorContract,
+                         ::testing::Values(Scheme::Bdi, Scheme::Fpc,
+                                           Scheme::CPack),
+                         [](const auto &info) {
+                             std::string n(schemeName(info.param));
+                             n.erase(std::remove(n.begin(), n.end(), '-'),
+                                     n.end());
+                             return n;
+                         });
+
+TEST(CompressorIntegration, AppModelUsesInjectedScheme)
+{
+    const auto &profile = workload::profileByName("zeusmp06");
+    std::shared_ptr<const BlockCompressor> fpc =
+        BlockCompressor::create(Scheme::Fpc);
+    workload::AppModel bdi_app(profile, 0, 2048,
+                               Xoshiro256StarStar(5));
+    workload::AppModel fpc_app(profile, 0, 2048,
+                               Xoshiro256StarStar(5), fpc);
+
+    EXPECT_EQ(bdi_app.compressor().scheme(), Scheme::Bdi);
+    EXPECT_EQ(fpc_app.compressor().scheme(), Scheme::Fpc);
+
+    // Same contents, scheme-specific sizes; both must be in range and
+    // differ somewhere across a sample of blocks.
+    bool differed = false;
+    for (Addr block = 0; block < 200; ++block) {
+        const unsigned a = bdi_app.ecbSizeOf(block);
+        const unsigned b = fpc_app.ecbSizeOf(block);
+        EXPECT_GE(a, 2u);
+        EXPECT_LE(a, 64u);
+        EXPECT_GE(b, 2u);
+        EXPECT_LE(b, 64u);
+        differed = differed || a != b;
+    }
+    EXPECT_TRUE(differed);
+}
+
+TEST(CompressorIntegration, SchemeNames)
+{
+    EXPECT_EQ(schemeName(Scheme::Bdi), "BDI");
+    EXPECT_EQ(schemeName(Scheme::Fpc), "FPC");
+    EXPECT_EQ(schemeName(Scheme::CPack), "C-Pack");
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * C-Pack tests: dictionary matching codes, compressor/decompressor
+ * dictionary agreement and randomized roundtrips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "compression/cpack.hh"
+#include "workload/block_synth.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::compression;
+
+BlockData
+blockOfWords(const std::vector<std::uint32_t> &words)
+{
+    BlockData data{};
+    for (std::size_t i = 0; i < words.size() && i < 16; ++i)
+        std::memcpy(data.data() + 4 * i, &words[i], 4);
+    return data;
+}
+
+TEST(CPack, ZeroBlockIsTiny)
+{
+    const CPackCompressor cpack;
+    BlockData zeros{};
+    // 16 zzzz codes = 32 bits + header = 5 bytes.
+    EXPECT_EQ(cpack.ecbSize(zeros), 5u);
+    EXPECT_EQ(cpack.decompress(cpack.compress(zeros)), zeros);
+}
+
+TEST(CPack, FullMatchesUseDictionary)
+{
+    const CPackCompressor cpack;
+    // One distinct word repeated: first xxxx (push), then 15 mmmm.
+    std::vector<std::uint32_t> words(16, 0xdeadbeef);
+    const BlockData data = blockOfWords(words);
+    // 2+32 + 15*(2+4) bits = 124 bits = 16 bytes + header.
+    EXPECT_LE(cpack.ecbSize(data), 17u);
+    EXPECT_EQ(cpack.decompress(cpack.compress(data)), data);
+}
+
+TEST(CPack, PartialMatchesRoundtrip)
+{
+    const CPackCompressor cpack;
+    const BlockData data = blockOfWords({
+        0xaabbcc00, 0xaabbcc11, 0xaabbdd22, // upper-24 / upper-16
+        0x00000042,                         // zzzx
+        0, 0xaabbcc00,                      // zzzz, full match
+        0x11223344, 0x11223355, 0x11224466, // more partials
+        0, 0, 0x00000001, 0xaabbccdd, 0x55667788, 0x5566aabb, 0,
+    });
+    const auto ecb = cpack.compress(data);
+    EXPECT_LT(ecb.size(), 64u);
+    EXPECT_EQ(cpack.decompress(ecb), data);
+}
+
+TEST(CPack, IncompressibleFallsBackToRaw)
+{
+    const CPackCompressor cpack;
+    Xoshiro256StarStar rng(5);
+    BlockData data;
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(cpack.ecbSize(data), 64u);
+    EXPECT_EQ(cpack.decompress(cpack.compress(data)), data);
+}
+
+TEST(CPack, RandomizedRoundtripProperty)
+{
+    const CPackCompressor cpack;
+    Xoshiro256StarStar rng(23);
+    for (int trial = 0; trial < 300; ++trial) {
+        BlockData data{};
+        std::uint32_t pool[4] = {
+            static_cast<std::uint32_t>(rng.next()),
+            static_cast<std::uint32_t>(rng.next()),
+            static_cast<std::uint32_t>(rng.next()),
+            static_cast<std::uint32_t>(rng.next()),
+        };
+        for (unsigned w = 0; w < 16; ++w) {
+            std::uint32_t word;
+            switch (rng.nextBounded(6)) {
+              case 0: word = 0; break;
+              case 1: word = pool[rng.nextBounded(4)]; break;
+              case 2: // upper-bits variation of a pool word
+                  word = (pool[rng.nextBounded(4)] & 0xffffff00u) |
+                         static_cast<std::uint32_t>(rng.nextBounded(256));
+                  break;
+              case 3:
+                  word = static_cast<std::uint32_t>(rng.nextBounded(256));
+                  break;
+              default: word = static_cast<std::uint32_t>(rng.next());
+            }
+            std::memcpy(data.data() + 4 * w, &word, 4);
+        }
+        const auto ecb = cpack.compress(data);
+        EXPECT_LE(ecb.size(), 64u);
+        EXPECT_EQ(cpack.decompress(ecb), data) << "trial " << trial;
+    }
+}
+
+TEST(CPack, BdiTargetedContentAlsoRoundtrips)
+{
+    const CPackCompressor cpack;
+    for (auto ce : { Ce::Zeros, Ce::Rep8, Ce::B8D2, Ce::B4D1,
+                     Ce::B8D6, Ce::Uncompressed }) {
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            const BlockData data = workload::synthesizeBlock(ce, seed);
+            EXPECT_EQ(cpack.decompress(cpack.compress(data)), data);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests of the modified-BDI encoding table (paper Table I): sizes,
+ * classification boundaries and the CPth candidate set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compression/encoding.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::compression;
+
+TEST(Encoding, TableCoversAllCes)
+{
+    EXPECT_EQ(ceTable().size(), numCe);
+    for (std::size_t i = 0; i < numCe; ++i)
+        EXPECT_EQ(static_cast<std::size_t>(ceTable()[i].ce), i);
+}
+
+TEST(Encoding, PaperQuotedSizes)
+{
+    // The sizes the paper quotes explicitly.
+    EXPECT_EQ(ecbSize(Ce::B8D3), 30u);
+    EXPECT_EQ(ecbSize(Ce::B8D4), 37u);   // HCR/LCR boundary
+    EXPECT_EQ(ecbSize(Ce::B8D5), 44u);
+    EXPECT_EQ(ecbSize(Ce::B8D6), 51u);
+    EXPECT_EQ(ecbSize(Ce::B8D7), 58u);   // fits frames with <= 6 dead bytes
+    EXPECT_EQ(ecbSize(Ce::Uncompressed), 64u);
+}
+
+TEST(Encoding, CbPlusHeaderEqualsEcb)
+{
+    for (const CeInfo &info : ceTable()) {
+        if (info.ce == Ce::Uncompressed) {
+            EXPECT_EQ(info.cbBytes, info.ecbBytes);
+        } else {
+            EXPECT_EQ(info.cbBytes + 1, info.ecbBytes)
+                << std::string(info.name);
+        }
+    }
+}
+
+TEST(Encoding, BaseDeltaSizesFollowFormula)
+{
+    for (const CeInfo &info : ceTable()) {
+        if (info.deltaBytes == 0)
+            continue;
+        const unsigned values = 64 / info.baseBytes;
+        EXPECT_EQ(info.cbBytes,
+                  info.baseBytes + (values - 1) * info.deltaBytes)
+            << std::string(info.name);
+    }
+}
+
+TEST(Encoding, ClassificationBoundaries)
+{
+    EXPECT_EQ(classify(2), CompressClass::Hcr);
+    EXPECT_EQ(classify(37), CompressClass::Hcr);
+    EXPECT_EQ(classify(38), CompressClass::Lcr);
+    EXPECT_EQ(classify(58), CompressClass::Lcr);
+    EXPECT_EQ(classify(63), CompressClass::Lcr);
+    EXPECT_EQ(classify(64), CompressClass::Incompressible);
+}
+
+TEST(Encoding, CompressClassNames)
+{
+    EXPECT_EQ(compressClassName(CompressClass::Hcr), "HCR");
+    EXPECT_EQ(compressClassName(CompressClass::Lcr), "LCR");
+    EXPECT_EQ(compressClassName(CompressClass::Incompressible), "INC");
+}
+
+TEST(Encoding, CpthCandidatesArePaperSweepPoints)
+{
+    const auto &c = cpthCandidates();
+    EXPECT_EQ(c, (std::vector<unsigned>{ 30, 34, 37, 44, 51, 58, 64 }));
+    // Candidates must be achievable ECB sizes, ascending.
+    for (unsigned v : c) {
+        bool found = false;
+        for (const CeInfo &info : ceTable())
+            found = found || info.ecbBytes == v;
+        EXPECT_TRUE(found) << v;
+    }
+}
+
+TEST(Encoding, EverySizeWithinFrame)
+{
+    for (const CeInfo &info : ceTable()) {
+        EXPECT_GE(info.ecbBytes, 2u) << std::string(info.name);
+        EXPECT_LE(info.ecbBytes, 64u) << std::string(info.name);
+    }
+}
+
+} // namespace

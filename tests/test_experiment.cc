@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Experiment/forecast-summary contract tests: deterministic forecasts,
+ * series well-formedness, lifetime arithmetic against the scale factor,
+ * and endurance-fabric sharing across policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::sim;
+using hybrid::PolicyKind;
+
+const Experiment &
+experiment()
+{
+    static const Experiment exp = [] {
+        SystemConfig cfg = SystemConfig::tableIV(0.5);
+        cfg.refsPerCore = 50'000;
+        return Experiment(cfg, 2);
+    }();
+    return exp;
+}
+
+TEST(ExperimentForecast, SummaryWellFormed)
+{
+    const auto &cfg = experiment().config();
+    const auto summary = experiment().runForecast(
+        cfg.llcConfig(PolicyKind::CpSd), "CP_SD");
+
+    ASSERT_FALSE(summary.series.empty());
+    EXPECT_EQ(summary.label, "CP_SD");
+    EXPECT_GT(summary.initialIpc, 0.0);
+    EXPECT_DOUBLE_EQ(summary.series.front().capacity, 1.0);
+    EXPECT_GT(summary.lifetimeMonths, 0.0);
+    EXPECT_LE(summary.lifetimeMonths,
+              summary.series.back().months() + 1e-9);
+    // Capacity is non-increasing and time non-decreasing.
+    for (std::size_t i = 1; i < summary.series.size(); ++i) {
+        EXPECT_LE(summary.series[i].capacity,
+                  summary.series[i - 1].capacity);
+        EXPECT_GE(summary.series[i].time, summary.series[i - 1].time);
+    }
+}
+
+TEST(ExperimentForecast, Deterministic)
+{
+    const auto &cfg = experiment().config();
+    const auto a = experiment().runForecast(
+        cfg.llcConfig(PolicyKind::BhCp), "a");
+    const auto b = experiment().runForecast(
+        cfg.llcConfig(PolicyKind::BhCp), "b");
+    ASSERT_EQ(a.series.size(), b.series.size());
+    EXPECT_DOUBLE_EQ(a.lifetimeMonths, b.lifetimeMonths);
+    EXPECT_DOUBLE_EQ(a.initialIpc, b.initialIpc);
+    for (std::size_t i = 0; i < a.series.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.series[i].capacity, b.series[i].capacity);
+        EXPECT_DOUBLE_EQ(a.series[i].meanIpc, b.series[i].meanIpc);
+    }
+}
+
+TEST(ExperimentForecast, SharedEnduranceFabricAcrossPolicies)
+{
+    // Same geometry => same per-byte limits, the fair-comparison setup.
+    const auto &cfg = experiment().config();
+    const auto a = experiment().makeEndurance(
+        cfg.llcConfig(PolicyKind::Bh));
+    const auto b = experiment().makeEndurance(
+        cfg.llcConfig(PolicyKind::CpSd));
+    for (std::uint32_t f = 0; f < 8; ++f)
+        for (unsigned byte = 0; byte < 64; ++byte)
+            EXPECT_DOUBLE_EQ(a.limit(f, byte), b.limit(f, byte));
+}
+
+TEST(ExperimentForecast, FullScaleFactorArithmetic)
+{
+    EXPECT_DOUBLE_EQ(SystemConfig::tableIV(0.5).fullScaleFactor(), 32.0);
+    EXPECT_DOUBLE_EQ(SystemConfig::tableIV(4.0).fullScaleFactor(), 4.0);
+}
+
+TEST(ExperimentForecast, CapacityFloorRespected)
+{
+    const auto &cfg = experiment().config();
+    forecast::ForecastConfig fc;
+    fc.capacityFloor = 0.8; // stop early
+    const auto summary = experiment().runForecast(
+        cfg.llcConfig(PolicyKind::Bh), "BH", fc);
+    ASSERT_FALSE(summary.series.empty());
+    // The last point is at or just below the floor; the one before it
+    // (if any) is above.
+    EXPECT_LE(summary.series.back().capacity, 0.8 + 0.05);
+    if (summary.series.size() >= 2) {
+        EXPECT_GT(summary.series[summary.series.size() - 2].capacity,
+                  0.8);
+    }
+}
+
+TEST(ExperimentForecast, FasterWearMeansShorterLife)
+{
+    // Same policy, 10x lower endurance => ~10x shorter lifetime.
+    SystemConfig weak = experiment().config();
+    weak.endurance.meanWrites /= 10.0;
+    const Experiment weak_exp(weak, 1);
+    const Experiment strong_exp(experiment().config(), 1);
+
+    const auto llc =
+        experiment().config().llcConfig(PolicyKind::BhCp);
+    const double weak_life =
+        weak_exp.runForecast(llc, "w").lifetimeMonths;
+    const double strong_life =
+        strong_exp.runForecast(llc, "s").lifetimeMonths;
+    EXPECT_GT(strong_life, 5.0 * weak_life);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Frequent Pattern Compression tests: word classification, hand-built
+ * pattern blocks, zero-run collapsing and randomized roundtrips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "compression/fpc.hh"
+#include "workload/block_synth.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::compression;
+
+using Pattern = FpcCompressor::Pattern;
+
+BlockData
+blockOfWords(const std::vector<std::uint32_t> &words)
+{
+    BlockData data{};
+    for (std::size_t i = 0; i < words.size() && i < 16; ++i)
+        std::memcpy(data.data() + 4 * i, &words[i], 4);
+    return data;
+}
+
+TEST(Fpc, WordClassification)
+{
+    EXPECT_EQ(FpcCompressor::classifyWord(0), Pattern::ZeroRun);
+    EXPECT_EQ(FpcCompressor::classifyWord(7), Pattern::SignExt4);
+    EXPECT_EQ(FpcCompressor::classifyWord(0xfffffff9u),
+              Pattern::SignExt4); // -7
+    EXPECT_EQ(FpcCompressor::classifyWord(100), Pattern::SignExt8);
+    EXPECT_EQ(FpcCompressor::classifyWord(30000), Pattern::SignExt16);
+    EXPECT_EQ(FpcCompressor::classifyWord(0x00120000u),
+              Pattern::HalfwordPadded);
+    EXPECT_EQ(FpcCompressor::classifyWord(0x00640032u),
+              Pattern::TwoHalfwords);
+    EXPECT_EQ(FpcCompressor::classifyWord(0xabababab),
+              Pattern::RepeatedBytes);
+    EXPECT_EQ(FpcCompressor::classifyWord(0x12345678u),
+              Pattern::Uncompressed);
+}
+
+TEST(Fpc, ZeroBlockCompressesToAFewBytes)
+{
+    const FpcCompressor fpc;
+    BlockData zeros{};
+    // 16 zero words = two runs of 8: 2 x 6 bits + header.
+    EXPECT_LE(fpc.ecbSize(zeros), 4u);
+    EXPECT_EQ(fpc.decompress(fpc.compress(zeros)), zeros);
+}
+
+TEST(Fpc, RandomBlockFallsBackToRaw)
+{
+    const FpcCompressor fpc;
+    Xoshiro256StarStar rng(3);
+    BlockData data;
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(fpc.ecbSize(data), 64u);
+    EXPECT_EQ(fpc.decompress(fpc.compress(data)), data);
+}
+
+TEST(Fpc, MixedPatternsRoundtrip)
+{
+    const FpcCompressor fpc;
+    const BlockData data = blockOfWords({
+        0, 0, 0, 5, 0xffffff80u, 30000, 0x00120000u, 0x00640032u,
+        0xabababab, 0x12345678u, 0, 1, 0xdeadbeef, 0x7fff, 0, 0xff00ff00,
+    });
+    const auto ecb = fpc.compress(data);
+    EXPECT_LT(ecb.size(), 64u);
+    EXPECT_EQ(fpc.decompress(ecb), data);
+}
+
+TEST(Fpc, PayloadBitsTable)
+{
+    EXPECT_EQ(FpcCompressor::payloadBits(Pattern::ZeroRun), 3u);
+    EXPECT_EQ(FpcCompressor::payloadBits(Pattern::SignExt4), 4u);
+    EXPECT_EQ(FpcCompressor::payloadBits(Pattern::Uncompressed), 32u);
+}
+
+TEST(Fpc, NegativeValuesSurviveRoundtrip)
+{
+    const FpcCompressor fpc;
+    const BlockData data = blockOfWords({
+        static_cast<std::uint32_t>(-1), static_cast<std::uint32_t>(-8),
+        static_cast<std::uint32_t>(-128),
+        static_cast<std::uint32_t>(-32768),
+        static_cast<std::uint32_t>(-2), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    });
+    EXPECT_EQ(fpc.decompress(fpc.compress(data)), data);
+}
+
+TEST(Fpc, RandomizedRoundtripProperty)
+{
+    const FpcCompressor fpc;
+    Xoshiro256StarStar rng(17);
+    for (int trial = 0; trial < 300; ++trial) {
+        BlockData data{};
+        for (unsigned w = 0; w < 16; ++w) {
+            // Bias towards compressible kinds to exercise all paths.
+            std::uint32_t word;
+            switch (rng.nextBounded(6)) {
+              case 0: word = 0; break;
+              case 1: word = static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(
+                              rng.nextBounded(256)) - 128);
+                      break;
+              case 2: word = static_cast<std::uint32_t>(
+                          rng.nextBounded(65536)) << 16;
+                      break;
+              case 3: {
+                  const auto b =
+                      static_cast<std::uint32_t>(rng.nextBounded(256));
+                  word = b | (b << 8) | (b << 16) | (b << 24);
+                  break;
+              }
+              default: word = static_cast<std::uint32_t>(rng.next());
+            }
+            std::memcpy(data.data() + 4 * w, &word, 4);
+        }
+        const auto ecb = fpc.compress(data);
+        EXPECT_LE(ecb.size(), 64u);
+        EXPECT_GE(ecb.size(), 2u);
+        EXPECT_EQ(fpc.decompress(ecb), data) << "trial " << trial;
+    }
+}
+
+TEST(Fpc, BdiTargetedContentAlsoRoundtrips)
+{
+    // FPC must roundtrip contents synthesized for BDI targets too.
+    const FpcCompressor fpc;
+    for (auto ce : { Ce::Zeros, Ce::Rep8, Ce::B8D1, Ce::B4D2, Ce::B2D1,
+                     Ce::B8D7, Ce::Uncompressed }) {
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            const BlockData data = workload::synthesizeBlock(ce, seed);
+            EXPECT_EQ(fpc.decompress(fpc.compress(data)), data);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Private-stack and hierarchy tests: L1/L2 inclusion, GetX upgrades,
+ * Put generation on L2 evictions, trace capture invariance and the
+ * timing model's monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hierarchy/hierarchy.hh"
+#include "hierarchy/private_cache.hh"
+#include "hierarchy/timing.hh"
+#include "hierarchy/trace_recorder.hh"
+#include "workload/spec_profiles.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::hierarchy;
+using hybrid::AccessOutcome;
+using hybrid::LlcEvent;
+using hybrid::LlcEventType;
+
+/** Sink capturing demands/puts for inspection. */
+class SpySink : public LlcSink
+{
+  public:
+    struct Demand { Addr block; bool getx; };
+    struct Put { Addr block; bool dirty; unsigned ecb; };
+
+    AccessOutcome
+    demand(Addr block, bool getx, CoreId) override
+    {
+        demands.push_back({ block, getx });
+        return AccessOutcome::Miss;
+    }
+
+    void
+    put(Addr block, bool dirty, CoreId, unsigned ecb) override
+    {
+        puts.push_back({ block, dirty, ecb });
+    }
+
+    std::vector<Demand> demands;
+    std::vector<Put> puts;
+};
+
+struct CoreRig
+{
+    workload::AppModel app;
+    SpySink sink;
+    CoreHierarchy core;
+
+    explicit CoreRig(const PrivateCacheConfig &config)
+        : app(workload::profileByName("zeusmp06"), 0, 2048,
+              Xoshiro256StarStar(1)),
+          core(0, config, &app, &sink)
+    {
+    }
+};
+
+PrivateCacheConfig
+tinyConfig()
+{
+    // L1: 4 blocks (1 set x 4 ways); L2: 16 blocks (1 set x 16 ways).
+    return PrivateCacheConfig{ 4 * 64, 4, 16 * 64, 16 };
+}
+
+TEST(CoreHierarchy, ColdReadMissesToLlcAsGetS)
+{
+    CoreRig rig(tinyConfig());
+    const auto level = rig.core.access({ 100, false });
+    EXPECT_EQ(level, ServiceLevel::Memory); // spy answers Miss
+    ASSERT_EQ(rig.sink.demands.size(), 1u);
+    EXPECT_EQ(rig.sink.demands[0].block, 100u);
+    EXPECT_FALSE(rig.sink.demands[0].getx);
+}
+
+TEST(CoreHierarchy, ColdWriteMissesToLlcAsGetX)
+{
+    CoreRig rig(tinyConfig());
+    rig.core.access({ 100, true });
+    ASSERT_EQ(rig.sink.demands.size(), 1u);
+    EXPECT_TRUE(rig.sink.demands[0].getx);
+}
+
+TEST(CoreHierarchy, L1HitIsSilent)
+{
+    CoreRig rig(tinyConfig());
+    rig.core.access({ 100, false });
+    const auto level = rig.core.access({ 100, false });
+    EXPECT_EQ(level, ServiceLevel::L1);
+    EXPECT_EQ(rig.sink.demands.size(), 1u);
+    EXPECT_EQ(rig.core.l1Hits(), 1u);
+}
+
+TEST(CoreHierarchy, WriteToReadOnlyCopyUpgradesWithGetX)
+{
+    CoreRig rig(tinyConfig());
+    rig.core.access({ 100, false }); // GetS fill, read-only
+    rig.core.access({ 100, true }); // store: needs ownership
+    ASSERT_EQ(rig.sink.demands.size(), 2u);
+    EXPECT_TRUE(rig.sink.demands[1].getx);
+    // Subsequent stores are silent (writable now).
+    rig.core.access({ 100, true });
+    EXPECT_EQ(rig.sink.demands.size(), 2u);
+}
+
+TEST(CoreHierarchy, L2EvictionGeneratesPut)
+{
+    CoreRig rig(tinyConfig());
+    // Fill the single 16-way L2 set plus one: evicts block 0.
+    for (Addr b = 0; b <= 16; ++b)
+        rig.core.access({ b, false });
+    ASSERT_GE(rig.sink.puts.size(), 1u);
+    EXPECT_EQ(rig.sink.puts[0].block, 0u);
+    EXPECT_FALSE(rig.sink.puts[0].dirty);
+    EXPECT_GE(rig.sink.puts[0].ecb, 2u);
+    EXPECT_LE(rig.sink.puts[0].ecb, 64u);
+}
+
+TEST(CoreHierarchy, DirtyBlocksPutDirtyWithL1Merge)
+{
+    CoreRig rig(tinyConfig());
+    rig.core.access({ 0, true }); // dirty in L1
+    for (Addr b = 1; b <= 16; ++b)
+        rig.core.access({ b, false });
+    ASSERT_GE(rig.sink.puts.size(), 1u);
+    // Block 0's dirtiness lived in L1; the Put must carry it.
+    EXPECT_EQ(rig.sink.puts[0].block, 0u);
+    EXPECT_TRUE(rig.sink.puts[0].dirty);
+}
+
+TEST(CoreHierarchy, InclusionMaintainedUnderPressure)
+{
+    CoreRig rig(tinyConfig());
+    Xoshiro256StarStar rng(3);
+    // Random storm; inclusion violations would trip internal asserts.
+    for (int i = 0; i < 20000; ++i)
+        rig.core.access({ rng.nextBounded(64), rng.nextBool(0.3) });
+    // Every L1-resident block must be in L2.
+    for (Addr b = 0; b < 64; ++b) {
+        if (rig.core.l1().contains(b))
+            EXPECT_TRUE(rig.core.l2().contains(b)) << b;
+    }
+}
+
+TEST(MixSimulation, CountersCoverAllCores)
+{
+    MixSimulation sim(workload::tableVMixes()[0], 2048,
+                      PrivateCacheConfig{ 2048, 4, 8192, 16 }, 42);
+    SpySink sink;
+    sim.run(2000, sink);
+    for (std::size_t c = 0; c < sim.numCores(); ++c) {
+        const CoreActivity a = sim.activityOf(c);
+        EXPECT_EQ(a.refs, 2000u) << c;
+        EXPECT_GT(a.instructions, a.refs); // memIntensity < 1
+        EXPECT_GT(a.l1Hits, 0u);
+    }
+}
+
+TEST(TraceCapture, DeterministicAndWellFormed)
+{
+    const auto &mix = workload::tableVMixes()[0];
+    const PrivateCacheConfig config{ 2048, 4, 8192, 16 };
+    const auto t1 = captureTrace(mix, 2048, config, 2000, 7);
+    const auto t2 = captureTrace(mix, 2048, config, 2000, 7);
+    ASSERT_EQ(t1.size(), t2.size());
+    EXPECT_GT(t1.size(), 0u);
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1.events()[i].blockNum, t2.events()[i].blockNum);
+        EXPECT_EQ(t1.events()[i].type, t2.events()[i].type);
+        EXPECT_EQ(t1.events()[i].ecbBytes, t2.events()[i].ecbBytes);
+    }
+    EXPECT_EQ(t1.meta().mixName, "mix 1");
+    for (const auto &core : t1.meta().cores) {
+        EXPECT_EQ(core.refs, 2000u);
+        EXPECT_GT(core.llcDemands, 0u);
+    }
+}
+
+TEST(TraceCapture, PutsCarryRealEcbSizes)
+{
+    const auto trace = captureTrace(workload::tableVMixes()[5], 2048,
+                                    PrivateCacheConfig{ 2048, 4, 8192, 16 },
+                                    2000, 7);
+    bool saw_put = false;
+    for (const LlcEvent &ev : trace.events()) {
+        if (ev.type == LlcEventType::PutClean ||
+            ev.type == LlcEventType::PutDirty) {
+            saw_put = true;
+            EXPECT_GE(ev.ecbBytes, 2u);
+            EXPECT_LE(ev.ecbBytes, 64u);
+        }
+    }
+    EXPECT_TRUE(saw_put);
+}
+
+TEST(Timing, DeeperServiceLevelsCostMore)
+{
+    const TimingParams params;
+    CoreActivity base;
+    base.instructions = 1'000'000;
+    base.refs = 300'000;
+    base.baseCpi = 0.4;
+
+    CoreActivity l2 = base;
+    l2.l2Hits = 100'000;
+    CoreActivity sram = base;
+    sram.llcHitsSram = 100'000;
+    CoreActivity nvm = base;
+    nvm.llcHitsNvm = 100'000;
+    CoreActivity mem = base;
+    mem.llcMisses = 100'000;
+
+    EXPECT_LT(coreCycles(base, params), coreCycles(l2, params));
+    EXPECT_LT(coreCycles(l2, params), coreCycles(sram, params));
+    EXPECT_LT(coreCycles(sram, params), coreCycles(nvm, params));
+    EXPECT_LT(coreCycles(nvm, params), coreCycles(mem, params));
+
+    EXPECT_GT(coreIpc(base, params), coreIpc(mem, params));
+}
+
+TEST(Timing, NvmWritesStallCores)
+{
+    const TimingParams params;
+    CoreActivity a;
+    a.instructions = 1'000'000;
+    a.baseCpi = 0.4;
+    const double before = coreCycles(a, params);
+    a.nvmWrites = 100'000;
+    EXPECT_GT(coreCycles(a, params), before);
+}
+
+TEST(Timing, IdleCoreHasZeroIpc)
+{
+    EXPECT_DOUBLE_EQ(coreIpc(CoreActivity{}, TimingParams{}), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cross-policy property tests: every insertion policy must uphold the
+ * LLC's structural invariants under randomized event storms, with and
+ * without pre-existing NVM faults — accounting identities, capacity
+ * limits, fault-respecting placement and deterministic behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hybrid/hybrid_llc.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::hybrid;
+
+constexpr std::uint32_t kSets = 32;
+
+struct Rig
+{
+    std::unique_ptr<fault::EnduranceModel> endurance;
+    std::unique_ptr<fault::FaultMap> map;
+    std::unique_ptr<HybridLlc> llc;
+};
+
+Rig
+makeRig(PolicyKind policy, bool degraded)
+{
+    Rig rig;
+    HybridLlcConfig config;
+    config.numSets = kSets;
+    config.sramWays = 4;
+    config.nvmWays = 12;
+    config.policy = policy;
+    config.epochCycles = 5'000;
+
+    if (policy == PolicyKind::SramOnly) {
+        config.sramWays = 16;
+        config.nvmWays = 0;
+    } else {
+        const fault::NvmGeometry geom{ kSets, config.nvmWays, 64 };
+        rig.endurance = std::make_unique<fault::EnduranceModel>(
+            geom, fault::EnduranceParams{ 1e12, 0.0 },
+            Xoshiro256StarStar(7));
+        rig.map = std::make_unique<fault::FaultMap>(
+            *rig.endurance,
+            InsertionPolicy::create(policy)->granularity());
+        if (degraded) {
+            // Random byte faults down to ~70% capacity.
+            Xoshiro256StarStar rng(11);
+            while (rig.map->effectiveCapacity() > 0.7) {
+                rig.map->killByte(
+                    static_cast<std::uint32_t>(
+                        rng.nextBounded(geom.numFrames())),
+                    static_cast<unsigned>(rng.nextBounded(64)));
+            }
+        }
+    }
+    rig.llc = std::make_unique<HybridLlc>(config, rig.map.get());
+    return rig;
+}
+
+/** Random LLC-event storm mimicking the capture format. */
+void
+storm(HybridLlc &llc, std::uint64_t seed, int events)
+{
+    Xoshiro256StarStar rng(seed);
+    const unsigned sizes[] = { 2, 9, 16, 23, 30, 34, 37, 44, 51, 58, 64 };
+    for (int i = 0; i < events; ++i) {
+        const Addr block = rng.nextBounded(2048);
+        const auto kind = rng.nextBounded(4);
+        LlcEvent ev;
+        ev.blockNum = block;
+        ev.core = static_cast<CoreId>(rng.nextBounded(4));
+        ev.ecbBytes = static_cast<std::uint8_t>(
+            sizes[rng.nextBounded(std::size(sizes))]);
+        switch (kind) {
+          case 0: ev.type = LlcEventType::GetS; break;
+          case 1: ev.type = LlcEventType::GetX; break;
+          case 2: ev.type = LlcEventType::PutClean; break;
+          default: ev.type = LlcEventType::PutDirty; break;
+        }
+        llc.handle(ev);
+    }
+}
+
+class PolicyStorm
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, bool>>
+{
+};
+
+TEST_P(PolicyStorm, InvariantsHoldUnderRandomTraffic)
+{
+    const auto [policy, degraded] = GetParam();
+    Rig rig = makeRig(policy, degraded);
+    storm(*rig.llc, 42, 30'000);
+
+    const auto &stats = rig.llc->stats();
+    // Accounting identities.
+    EXPECT_EQ(stats.counterValue("gets"),
+              stats.counterValue("gets_hits_sram") +
+                  stats.counterValue("gets_hits_nvm") +
+                  stats.counterValue("gets_misses"));
+    EXPECT_EQ(stats.counterValue("getx"),
+              stats.counterValue("getx_hits_sram") +
+                  stats.counterValue("getx_hits_nvm") +
+                  stats.counterValue("getx_misses"));
+    EXPECT_LE(rig.llc->hitRate(), 1.0);
+    // Every NVM block write was recorded against the fault map.
+    if (rig.map) {
+        double pending = 0.0;
+        for (std::uint32_t f = 0; f < rig.map->geometry().numFrames();
+             ++f) {
+            pending += rig.map->pendingWrites(f);
+        }
+        EXPECT_DOUBLE_EQ(
+            pending,
+            static_cast<double>(rig.llc->nvmBytesWritten()));
+    } else {
+        EXPECT_EQ(rig.llc->nvmBytesWritten(), 0u);
+        EXPECT_EQ(stats.counterValue("inserts_nvm"), 0u);
+    }
+}
+
+TEST_P(PolicyStorm, Deterministic)
+{
+    const auto [policy, degraded] = GetParam();
+    Rig a = makeRig(policy, degraded);
+    Rig b = makeRig(policy, degraded);
+    storm(*a.llc, 99, 10'000);
+    storm(*b.llc, 99, 10'000);
+    EXPECT_EQ(a.llc->demandHits(), b.llc->demandHits());
+    EXPECT_EQ(a.llc->nvmBytesWritten(), b.llc->nvmBytesWritten());
+}
+
+TEST_P(PolicyStorm, SurvivesAgingMidstream)
+{
+    const auto [policy, degraded] = GetParam();
+    if (policy == PolicyKind::SramOnly)
+        GTEST_SKIP() << "no NVM to age";
+    (void)degraded;
+    Rig rig = makeRig(policy, false);
+    storm(*rig.llc, 5, 10'000);
+    // Age aggressively, then keep running: resident blocks whose frames
+    // shrank must be dropped, not corrupted.
+    Xoshiro256StarStar rng(13);
+    while (rig.map->effectiveCapacity() > 0.6) {
+        rig.map->killByte(static_cast<std::uint32_t>(rng.nextBounded(
+                              rig.map->geometry().numFrames())),
+                          static_cast<unsigned>(rng.nextBounded(64)));
+    }
+    rig.llc->revalidateAgainstFaultMap();
+    storm(*rig.llc, 6, 10'000);
+    EXPECT_LE(rig.llc->hitRate(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyStorm,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::SramOnly, PolicyKind::Bh,
+                          PolicyKind::BhCp, PolicyKind::Ca,
+                          PolicyKind::CaRwr, PolicyKind::CpSd,
+                          PolicyKind::CpSdTh, PolicyKind::LHybrid,
+                          PolicyKind::Tap),
+        ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(policyName(std::get<0>(info.param))) +
+               (std::get<1>(info.param) ? "_degraded" : "_pristine");
+    });
+
+} // namespace

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Insertion-policy decision tests: the steering tables of paper
+ * Sec. II-C (LHybrid, TAP) and Sec. IV (CA, CA_RWR), policy structural
+ * flags, and the factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hybrid/insertion_policy.hh"
+#include "hybrid/policy_ca.hh"
+#include "hybrid/policy_cpsd.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::hybrid;
+
+InsertContext
+ctx(ReuseClass reuse, unsigned ecb, bool dirty = false,
+    unsigned hits = 0, unsigned cpth = 58)
+{
+    return InsertContext{ 0x1000, dirty, ecb, reuse, hits, 0, cpth };
+}
+
+TEST(PolicyFactory, CreatesEveryKind)
+{
+    for (auto kind : { PolicyKind::SramOnly, PolicyKind::Bh,
+                       PolicyKind::BhCp, PolicyKind::Ca,
+                       PolicyKind::CaRwr, PolicyKind::CpSd,
+                       PolicyKind::CpSdTh, PolicyKind::LHybrid,
+                       PolicyKind::Tap }) {
+        const auto policy = InsertionPolicy::create(kind);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_EQ(policy->kind(), kind);
+        EXPECT_FALSE(policy->name().empty());
+    }
+}
+
+TEST(PolicyFlags, CompressionImpliesByteDisabling)
+{
+    for (auto kind : { PolicyKind::BhCp, PolicyKind::Ca, PolicyKind::CaRwr,
+                       PolicyKind::CpSd, PolicyKind::CpSdTh }) {
+        const auto policy = InsertionPolicy::create(kind);
+        EXPECT_TRUE(policy->usesCompression());
+        EXPECT_EQ(policy->granularity(), fault::DisableGranularity::Byte);
+    }
+    for (auto kind : { PolicyKind::Bh, PolicyKind::LHybrid,
+                       PolicyKind::Tap }) {
+        const auto policy = InsertionPolicy::create(kind);
+        EXPECT_FALSE(policy->usesCompression());
+        EXPECT_EQ(policy->granularity(),
+                  fault::DisableGranularity::Frame);
+    }
+}
+
+TEST(PolicyFlags, StructuralHooks)
+{
+    EXPECT_TRUE(InsertionPolicy::create(PolicyKind::Bh)
+                    ->globalReplacement());
+    EXPECT_TRUE(InsertionPolicy::create(PolicyKind::BhCp)
+                    ->globalReplacement());
+    EXPECT_FALSE(InsertionPolicy::create(PolicyKind::CaRwr)
+                     ->globalReplacement());
+    EXPECT_TRUE(InsertionPolicy::create(PolicyKind::CaRwr)
+                    ->migrateReadReuseOnSramEviction());
+    EXPECT_TRUE(InsertionPolicy::create(PolicyKind::LHybrid)
+                    ->lhybridSramReplacement());
+    EXPECT_TRUE(InsertionPolicy::create(PolicyKind::CpSd)
+                    ->usesSetDueling());
+    EXPECT_FALSE(InsertionPolicy::create(PolicyKind::Ca)
+                     ->usesSetDueling());
+    EXPECT_DOUBLE_EQ(InsertionPolicy::create(PolicyKind::CpSd)
+                         ->thPercent(), 0.0);
+    PolicyParams params;
+    params.thPercent = 8.0;
+    params.twPercent = 5.0;
+    const auto th = InsertionPolicy::create(PolicyKind::CpSdTh, params);
+    EXPECT_DOUBLE_EQ(th->thPercent(), 8.0);
+    EXPECT_DOUBLE_EQ(th->twPercent(), 5.0);
+}
+
+TEST(CaPolicy, SteersBySizeOnly)
+{
+    const CaPolicy ca(58);
+    // ctx.cpth is what matters (set-level threshold).
+    EXPECT_EQ(ca.choosePart(ctx(ReuseClass::None, 30)), Part::Nvm);
+    EXPECT_EQ(ca.choosePart(ctx(ReuseClass::None, 58)), Part::Nvm);
+    EXPECT_EQ(ca.choosePart(ctx(ReuseClass::None, 59)), Part::Sram);
+    EXPECT_EQ(ca.choosePart(ctx(ReuseClass::None, 64)), Part::Sram);
+    // Reuse is ignored by naive CA.
+    EXPECT_EQ(ca.choosePart(ctx(ReuseClass::Write, 30)), Part::Nvm);
+    EXPECT_EQ(ca.choosePart(ctx(ReuseClass::Read, 64)), Part::Sram);
+}
+
+TEST(CaRwrPolicy, PaperTableII)
+{
+    const CaRwrPolicy policy(58);
+    // Read reuse -> NVM regardless of size.
+    EXPECT_EQ(policy.choosePart(ctx(ReuseClass::Read, 64)), Part::Nvm);
+    EXPECT_EQ(policy.choosePart(ctx(ReuseClass::Read, 2)), Part::Nvm);
+    // Write reuse -> SRAM regardless of size.
+    EXPECT_EQ(policy.choosePart(ctx(ReuseClass::Write, 2)), Part::Sram);
+    EXPECT_EQ(policy.choosePart(ctx(ReuseClass::Write, 64)), Part::Sram);
+    // No reuse -> by compressed size.
+    EXPECT_EQ(policy.choosePart(ctx(ReuseClass::None, 37)), Part::Nvm);
+    EXPECT_EQ(policy.choosePart(ctx(ReuseClass::None, 64)), Part::Sram);
+}
+
+TEST(CaRwrPolicy, RespectsPerSetCpth)
+{
+    const CaRwrPolicy policy(58);
+    EXPECT_EQ(policy.choosePart(ctx(ReuseClass::None, 44, false, 0, 30)),
+              Part::Sram);
+    EXPECT_EQ(policy.choosePart(ctx(ReuseClass::None, 44, false, 0, 44)),
+              Part::Nvm);
+}
+
+TEST(LHybridPolicy, OnlyCleanLoopBlocksToNvm)
+{
+    const auto policy = InsertionPolicy::create(PolicyKind::LHybrid);
+    // Loop-block (read-reused, clean) -> NVM.
+    EXPECT_EQ(policy->choosePart(ctx(ReuseClass::Read, 64, false)),
+              Part::Nvm);
+    // Dirty Put can never be a loop-block.
+    EXPECT_EQ(policy->choosePart(ctx(ReuseClass::Read, 64, true)),
+              Part::Sram);
+    // Non-loop-blocks -> SRAM.
+    EXPECT_EQ(policy->choosePart(ctx(ReuseClass::None, 64, false)),
+              Part::Sram);
+    EXPECT_EQ(policy->choosePart(ctx(ReuseClass::Write, 64, false)),
+              Part::Sram);
+}
+
+TEST(TapPolicy, CleanThrashingBlocksOnly)
+{
+    PolicyParams params;
+    params.tapThreshold = 2;
+    const auto policy = InsertionPolicy::create(PolicyKind::Tap, params);
+    // Enough hits and clean -> NVM.
+    EXPECT_EQ(policy->choosePart(ctx(ReuseClass::Read, 64, false, 2)),
+              Part::Nvm);
+    EXPECT_EQ(policy->choosePart(ctx(ReuseClass::Read, 64, false, 5)),
+              Part::Nvm);
+    // Not enough reuse -> SRAM (more conservative than LHybrid).
+    EXPECT_EQ(policy->choosePart(ctx(ReuseClass::Read, 64, false, 1)),
+              Part::Sram);
+    // Dirty or write-reused -> SRAM.
+    EXPECT_EQ(policy->choosePart(ctx(ReuseClass::Read, 64, true, 5)),
+              Part::Sram);
+    EXPECT_EQ(policy->choosePart(ctx(ReuseClass::Write, 64, false, 5)),
+              Part::Sram);
+}
+
+TEST(PolicyNames, MatchPaperLabels)
+{
+    EXPECT_EQ(policyName(PolicyKind::Bh), "BH");
+    EXPECT_EQ(policyName(PolicyKind::BhCp), "BH_CP");
+    EXPECT_EQ(policyName(PolicyKind::CpSd), "CP_SD");
+    EXPECT_EQ(policyName(PolicyKind::CpSdTh), "CP_SD_Th");
+    EXPECT_EQ(policyName(PolicyKind::LHybrid), "LHybrid");
+    EXPECT_EQ(policyName(PolicyKind::Tap), "TAP");
+}
+
+} // namespace

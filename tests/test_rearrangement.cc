@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Block rearrangement circuitry tests (paper Fig. 5): index-vector
+ * construction, scatter/gather roundtrips over faulty frames and
+ * rotations, and write-mask properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hh"
+#include "fault/rearrangement.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::fault;
+
+TEST(Rearrangement, IdentityOnHealthyFrameNoRotation)
+{
+    const auto index =
+        RearrangementCircuit::indexVector(~std::uint64_t{0}, 0, 8);
+    for (unsigned pos = 0; pos < 8; ++pos)
+        EXPECT_EQ(index[pos], static_cast<int>(pos));
+    for (unsigned pos = 8; pos < blockBytes; ++pos)
+        EXPECT_EQ(index[pos], noByte);
+}
+
+TEST(Rearrangement, RotationShiftsStart)
+{
+    const auto index =
+        RearrangementCircuit::indexVector(~std::uint64_t{0}, 60, 8);
+    // Bytes 60..63 then wrap to 0..3.
+    EXPECT_EQ(index[60], 0);
+    EXPECT_EQ(index[63], 3);
+    EXPECT_EQ(index[0], 4);
+    EXPECT_EQ(index[3], 7);
+    EXPECT_EQ(index[4], noByte);
+}
+
+TEST(Rearrangement, FaultyBytesAreSkipped)
+{
+    // Paper Fig. 5c: 5-byte ECB into a frame with faulty bytes 2 and 5.
+    std::uint64_t live = ~std::uint64_t{0};
+    live &= ~(1ull << 2);
+    live &= ~(1ull << 5);
+    const auto index = RearrangementCircuit::indexVector(live, 0, 5);
+    EXPECT_EQ(index[0], 0);
+    EXPECT_EQ(index[1], 1);
+    EXPECT_EQ(index[2], noByte); // faulty
+    EXPECT_EQ(index[3], 2);
+    EXPECT_EQ(index[4], 3);
+    EXPECT_EQ(index[5], noByte); // faulty
+    EXPECT_EQ(index[6], 4);     // the paper's I[6]=2 example, 0-based ECB
+}
+
+TEST(Rearrangement, ScatterSetsWriteMaskExactly)
+{
+    std::vector<std::uint8_t> ecb = { 10, 20, 30 };
+    const std::uint64_t live = ~std::uint64_t{0} & ~(1ull << 1);
+    const auto result = RearrangementCircuit::scatter(ecb, live, 0);
+    EXPECT_EQ(std::popcount(result.writeMask), 3);
+    EXPECT_TRUE(result.writeMask & (1ull << 0));
+    EXPECT_FALSE(result.writeMask & (1ull << 1)); // faulty byte skipped
+    EXPECT_TRUE(result.writeMask & (1ull << 2));
+    EXPECT_TRUE(result.writeMask & (1ull << 3));
+    EXPECT_EQ(result.recb[0], 10);
+    EXPECT_EQ(result.recb[2], 20);
+    EXPECT_EQ(result.recb[3], 30);
+    EXPECT_EQ(result.writtenBytes, (std::vector<std::uint8_t>{0, 2, 3}));
+}
+
+/** Roundtrip sweep over ECB sizes. */
+class RearrangementRoundtrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RearrangementRoundtrip, ScatterGatherRecoversEcb)
+{
+    const unsigned n = GetParam();
+    Xoshiro256StarStar rng(n * 977 + 13);
+
+    for (int trial = 0; trial < 40; ++trial) {
+        // Random fault pattern leaving at least n live bytes.
+        std::uint64_t live = ~std::uint64_t{0};
+        const unsigned faults =
+            static_cast<unsigned>(rng.nextBounded(64 - n + 1));
+        for (unsigned f = 0; f < faults; ++f)
+            live &= ~(1ull << rng.nextBounded(64));
+        if (static_cast<unsigned>(std::popcount(live)) < n)
+            continue;
+        const unsigned rotation =
+            static_cast<unsigned>(rng.nextBounded(64));
+
+        std::vector<std::uint8_t> ecb(n);
+        for (auto &b : ecb)
+            b = static_cast<std::uint8_t>(rng.next());
+
+        const auto scattered =
+            RearrangementCircuit::scatter(ecb, live, rotation);
+        // No write lands on a faulty byte.
+        EXPECT_EQ(scattered.writeMask & ~live, 0u);
+        EXPECT_EQ(std::popcount(scattered.writeMask),
+                  static_cast<int>(n));
+
+        const auto back = RearrangementCircuit::gather(
+            std::span<const std::uint8_t, blockBytes>(scattered.recb),
+            live, rotation, n);
+        EXPECT_EQ(back, ecb);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(EcbSizes, RearrangementRoundtrip,
+                         ::testing::Values(1u, 2u, 9u, 16u, 30u, 37u, 44u,
+                                           51u, 58u, 64u));
+
+TEST(Rearrangement, WritesStartAtRotationOverLiveBytes)
+{
+    // With rotation 10 and all bytes live, writes occupy [10, 10+n).
+    std::vector<std::uint8_t> ecb(5, 0xaa);
+    const auto result =
+        RearrangementCircuit::scatter(ecb, ~std::uint64_t{0}, 10);
+    for (unsigned pos = 10; pos < 15; ++pos)
+        EXPECT_TRUE(result.writeMask & (1ull << pos)) << pos;
+    EXPECT_EQ(std::popcount(result.writeMask), 5);
+}
+
+} // namespace

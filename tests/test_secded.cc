@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Hamming SECDED codec tests: the (527,516) geometry the paper quotes,
+ * roundtrips, exhaustive-ish single-bit correction and double-bit
+ * detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "fault/secded.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::fault;
+
+std::vector<std::uint8_t>
+randomBits(unsigned n, Xoshiro256StarStar &rng)
+{
+    std::vector<std::uint8_t> bits(n);
+    for (auto &b : bits)
+        b = static_cast<std::uint8_t>(rng.nextBounded(2));
+    return bits;
+}
+
+TEST(Secded, LlcCodeIs527_516)
+{
+    const SecdedCodec &codec = llcSecdedCodec();
+    EXPECT_EQ(codec.dataBits(), 516u);
+    EXPECT_EQ(codec.checkBits(), 10u);
+    EXPECT_EQ(codec.codewordBits(), 527u);
+}
+
+TEST(Secded, CleanRoundtrip)
+{
+    Xoshiro256StarStar rng(5);
+    const SecdedCodec codec(32);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto data = randomBits(32, rng);
+        const auto cw = codec.encode(data);
+        EXPECT_EQ(cw.size(), codec.codewordBits());
+        const auto decoded = codec.decode(cw);
+        EXPECT_EQ(decoded.status, SecdedStatus::Ok);
+        EXPECT_EQ(decoded.data, data);
+        EXPECT_EQ(decoded.correctedBit, -1);
+    }
+}
+
+/** Single-bit error correction, parameterized over data widths. */
+class SecdedWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SecdedWidth, EverySingleBitFlipIsCorrected)
+{
+    const unsigned width = GetParam();
+    const SecdedCodec codec(width);
+    Xoshiro256StarStar rng(width);
+    const auto data = randomBits(width, rng);
+    const auto cw = codec.encode(data);
+
+    for (unsigned flip = 0; flip < codec.codewordBits(); ++flip) {
+        auto corrupted = cw;
+        corrupted[flip] ^= 1;
+        const auto decoded = codec.decode(corrupted);
+        EXPECT_EQ(decoded.status, SecdedStatus::Corrected) << flip;
+        EXPECT_EQ(decoded.data, data) << flip;
+        EXPECT_EQ(decoded.correctedBit, static_cast<int>(flip));
+    }
+}
+
+TEST_P(SecdedWidth, DoubleBitFlipsAreDetected)
+{
+    const unsigned width = GetParam();
+    const SecdedCodec codec(width);
+    Xoshiro256StarStar rng(width * 3 + 1);
+    const auto data = randomBits(width, rng);
+    const auto cw = codec.encode(data);
+
+    for (int trial = 0; trial < 100; ++trial) {
+        const unsigned a =
+            static_cast<unsigned>(rng.nextBounded(cw.size()));
+        unsigned b;
+        do {
+            b = static_cast<unsigned>(rng.nextBounded(cw.size()));
+        } while (b == a);
+        auto corrupted = cw;
+        corrupted[a] ^= 1;
+        corrupted[b] ^= 1;
+        const auto decoded = codec.decode(corrupted);
+        EXPECT_EQ(decoded.status, SecdedStatus::Uncorrectable)
+            << a << "," << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SecdedWidth,
+                         ::testing::Values(8u, 32u, 64u, 516u));
+
+TEST(Secded, CheckBitCountMatchesHammingBound)
+{
+    EXPECT_EQ(SecdedCodec(4).checkBits(), 3u);
+    EXPECT_EQ(SecdedCodec(11).checkBits(), 4u);
+    EXPECT_EQ(SecdedCodec(26).checkBits(), 5u);
+    EXPECT_EQ(SecdedCodec(512).checkBits(), 10u);
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Set Dueling tests: leader-group striping, epoch accounting, the
+ * max-hits winner (CP_SD) and the Th/Tw rule of Eq. (1) (CP_SD_Th).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hybrid/set_dueling.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::hybrid;
+
+const std::vector<unsigned> kCandidates = { 30, 44, 58, 64 };
+
+SetDueling
+makeDueling(double th = 0.0, double tw = 5.0)
+{
+    return SetDueling(128, kCandidates, 1000, th, tw);
+}
+
+TEST(SetDueling, LeaderGroupsStripedMod32)
+{
+    const SetDueling sd = makeDueling();
+    EXPECT_EQ(sd.leaderGroup(0), 0);
+    EXPECT_EQ(sd.leaderGroup(1), 1);
+    EXPECT_EQ(sd.leaderGroup(3), 3);
+    EXPECT_EQ(sd.leaderGroup(4), -1);   // follower
+    EXPECT_EQ(sd.leaderGroup(31), -1);
+    EXPECT_EQ(sd.leaderGroup(32), 0);   // next stripe
+    EXPECT_EQ(sd.leaderGroup(33), 1);
+}
+
+TEST(SetDueling, LeadersUseOwnCandidate)
+{
+    const SetDueling sd = makeDueling();
+    EXPECT_EQ(sd.cpthForSet(0), 30u);
+    EXPECT_EQ(sd.cpthForSet(1), 44u);
+    EXPECT_EQ(sd.cpthForSet(2), 58u);
+    EXPECT_EQ(sd.cpthForSet(3), 64u);
+    // Followers start on the largest candidate.
+    EXPECT_EQ(sd.cpthForSet(5), 64u);
+    EXPECT_EQ(sd.winner(), 64u);
+}
+
+TEST(SetDueling, MaxHitsWinsEpoch)
+{
+    SetDueling sd = makeDueling();
+    // Candidate 44 (group 1) gets the most hits.
+    for (int i = 0; i < 10; ++i)
+        sd.recordHit(33); // set 33 -> group 1
+    sd.recordHit(0);
+    EXPECT_TRUE(sd.tick(1000));
+    EXPECT_EQ(sd.winner(), 44u);
+    EXPECT_EQ(sd.cpthForSet(5), 44u);
+    EXPECT_EQ(sd.epochsCompleted(), 1u);
+}
+
+TEST(SetDueling, FollowerHitsDoNotCount)
+{
+    SetDueling sd = makeDueling();
+    for (int i = 0; i < 100; ++i)
+        sd.recordHit(5); // follower set
+    sd.recordHit(0);     // one hit for candidate 30
+    sd.tick(1000);
+    EXPECT_EQ(sd.winner(), 30u);
+}
+
+TEST(SetDueling, NoHitsKeepsPreviousWinner)
+{
+    SetDueling sd = makeDueling();
+    sd.recordHit(1); // candidate 44 wins epoch 1
+    sd.tick(1000);
+    EXPECT_EQ(sd.winner(), 44u);
+    sd.tick(1000);   // empty epoch
+    EXPECT_EQ(sd.winner(), 44u);
+    EXPECT_EQ(sd.epochsCompleted(), 2u);
+}
+
+TEST(SetDueling, TickAccumulatesAcrossCalls)
+{
+    SetDueling sd = makeDueling();
+    EXPECT_FALSE(sd.tick(400));
+    EXPECT_FALSE(sd.tick(400));
+    EXPECT_TRUE(sd.tick(400)); // crosses 1000
+}
+
+TEST(SetDueling, CountersResetEachEpoch)
+{
+    SetDueling sd = makeDueling();
+    sd.recordHit(0);
+    sd.recordNvmBytes(0, 100);
+    sd.closeEpoch();
+    EXPECT_EQ(sd.epochHits()[0], 0u);
+    EXPECT_EQ(sd.epochBytes()[0], 0u);
+}
+
+TEST(SetDuelingTh, RuleTradesHitsForBytes)
+{
+    // Th = 10%, Tw = 5%: candidate 30 sacrifices 5% hits but saves
+    // 50% bytes -> must win over the max-hits candidate 64.
+    SetDueling sd(128, kCandidates, 1000, 10.0, 5.0);
+    for (int i = 0; i < 100; ++i)
+        sd.recordHit(3); // candidate 64
+    for (int i = 0; i < 95; ++i)
+        sd.recordHit(0); // candidate 30
+    sd.recordNvmBytes(3, 1000);
+    sd.recordNvmBytes(0, 500);
+    sd.closeEpoch();
+    EXPECT_EQ(sd.winner(), 30u);
+}
+
+TEST(SetDuelingTh, InsufficientByteSavingRejectsTrade)
+{
+    // Bytes saved (2%) below Tw (5%): stay with max-hits winner.
+    SetDueling sd(128, kCandidates, 1000, 10.0, 5.0);
+    for (int i = 0; i < 100; ++i)
+        sd.recordHit(3);
+    for (int i = 0; i < 95; ++i)
+        sd.recordHit(0);
+    sd.recordNvmBytes(3, 1000);
+    sd.recordNvmBytes(0, 980);
+    sd.closeEpoch();
+    EXPECT_EQ(sd.winner(), 64u);
+}
+
+TEST(SetDuelingTh, TooLargeHitLossRejectsTrade)
+{
+    // 20% hit loss exceeds Th = 10%.
+    SetDueling sd(128, kCandidates, 1000, 10.0, 5.0);
+    for (int i = 0; i < 100; ++i)
+        sd.recordHit(3);
+    for (int i = 0; i < 80; ++i)
+        sd.recordHit(0);
+    sd.recordNvmBytes(3, 1000);
+    sd.recordNvmBytes(0, 100);
+    sd.closeEpoch();
+    EXPECT_EQ(sd.winner(), 64u);
+}
+
+TEST(SetDuelingTh, SmallestQualifyingCpthWins)
+{
+    // Both 30 and 44 qualify; Eq. (1) picks the smallest.
+    SetDueling sd(128, kCandidates, 1000, 10.0, 5.0);
+    for (int i = 0; i < 100; ++i)
+        sd.recordHit(3);
+    for (int i = 0; i < 95; ++i) {
+        sd.recordHit(0);
+        sd.recordHit(1);
+    }
+    sd.recordNvmBytes(3, 1000);
+    sd.recordNvmBytes(0, 500);
+    sd.recordNvmBytes(1, 400);
+    sd.closeEpoch();
+    EXPECT_EQ(sd.winner(), 30u);
+}
+
+TEST(SetDueling, WinnerHistoryRecordsEpochs)
+{
+    SetDueling sd = makeDueling();
+    sd.recordHit(1);
+    sd.tick(1000);
+    sd.recordHit(2);
+    sd.tick(1000);
+    sd.tick(1000); // no hits: not recorded
+    EXPECT_EQ(sd.winnerHistory(),
+              (std::vector<unsigned>{ 44, 58 }));
+}
+
+} // namespace

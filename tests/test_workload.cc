@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Workload tests: block-content synthesis hits its compressibility
+ * targets, content mixes reproduce the Figure 2 class fractions, the
+ * twenty profiles and ten mixes (Table V) are well-formed, and the
+ * reference streams behave as specified.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compression/bdi.hh"
+#include "workload/mixes.hh"
+#include "workload/spec_profiles.hh"
+
+namespace
+{
+
+using namespace hllc;
+using namespace hllc::workload;
+using compression::BdiCompressor;
+using compression::Ce;
+using compression::ceInfo;
+using compression::CompressClass;
+using compression::ecbSize;
+
+/** synthesizeBlock must achieve its target across every encoding. */
+class SynthTarget : public ::testing::TestWithParam<Ce>
+{
+};
+
+TEST_P(SynthTarget, AchievesExactTargetSize)
+{
+    const Ce ce = GetParam();
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        const BlockData data = synthesizeBlock(ce, seed);
+        EXPECT_EQ(BdiCompressor::compress(data).ecbBytes, ecbSize(ce))
+            << std::string(ceInfo(ce).name) << " seed " << seed;
+    }
+}
+
+TEST_P(SynthTarget, DeterministicInSeed)
+{
+    const Ce ce = GetParam();
+    EXPECT_EQ(synthesizeBlock(ce, 7), synthesizeBlock(ce, 7));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargets, SynthTarget,
+    ::testing::Values(Ce::Zeros, Ce::Rep8, Ce::B8D1, Ce::B8D2, Ce::B8D3,
+                      Ce::B8D4, Ce::B8D5, Ce::B8D6, Ce::B8D7, Ce::B4D1,
+                      Ce::B4D2, Ce::B4D3, Ce::B2D1, Ce::Uncompressed),
+    [](const auto &info) {
+        return std::string(ceInfo(info.param).name);
+    });
+
+TEST(ContentMix, ClassFractionsRealised)
+{
+    const ContentMix mix = ContentMix::fromClassFractions(0.5, 0.3);
+    Xoshiro256StarStar rng(5);
+    int hcr = 0, lcr = 0, inc = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const Ce ce = mix.draw(rng.nextDouble());
+        switch (compression::classify(ecbSize(ce))) {
+          case CompressClass::Hcr: ++hcr; break;
+          case CompressClass::Lcr: ++lcr; break;
+          default: ++inc; break;
+        }
+    }
+    EXPECT_NEAR(hcr / double(n), 0.5, 0.02);
+    EXPECT_NEAR(lcr / double(n), 0.3, 0.02);
+    EXPECT_NEAR(inc / double(n), 0.2, 0.02);
+}
+
+TEST(ContentMix, FullyIncompressible)
+{
+    const ContentMix mix = ContentMix::fromClassFractions(0.0, 0.0);
+    for (double u : { 0.0, 0.3, 0.7, 0.999 })
+        EXPECT_EQ(mix.draw(u), Ce::Uncompressed);
+}
+
+TEST(SpecProfiles, TwentyWellFormedApps)
+{
+    const auto &profiles = specProfiles();
+    EXPECT_EQ(profiles.size(), 20u);
+    std::set<std::string> names;
+    double hcr_sum = 0.0, lcr_sum = 0.0;
+    for (const auto &p : profiles) {
+        names.insert(p.name);
+        EXPECT_LE(p.pLoop + p.pStream + p.pRandom, 1.0 + 1e-9) << p.name;
+        EXPECT_GE(p.hcrFraction, 0.0);
+        EXPECT_LE(p.hcrFraction + p.lcrFraction, 1.0 + 1e-9) << p.name;
+        EXPECT_GT(p.memIntensity, 0.0);
+        EXPECT_GT(p.baseCpi, 0.0);
+        hcr_sum += p.hcrFraction;
+        lcr_sum += p.lcrFraction;
+    }
+    EXPECT_EQ(names.size(), 20u); // unique
+    // Figure 2 averages: ~49% HCR, ~29% LCR across the suite.
+    EXPECT_NEAR(hcr_sum / 20.0, 0.49, 0.08);
+    EXPECT_NEAR(lcr_sum / 20.0, 0.29, 0.10);
+}
+
+TEST(SpecProfiles, PaperExtremesPresent)
+{
+    // Fig. 2: xz17/milc06 incompressible; GemsFDTD/zeusmp almost all HCR.
+    EXPECT_DOUBLE_EQ(profileByName("xz17").hcrFraction, 0.0);
+    EXPECT_DOUBLE_EQ(profileByName("milc06").lcrFraction, 0.0);
+    EXPECT_GT(profileByName("GemsFDTD06").hcrFraction, 0.85);
+    EXPECT_GT(profileByName("zeusmp06").hcrFraction, 0.8);
+}
+
+TEST(SpecProfilesDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(profileByName("notabenchmark"), "unknown application");
+}
+
+TEST(Mixes, TableVHasTenMixesOfKnownApps)
+{
+    const auto &mixes = tableVMixes();
+    EXPECT_EQ(mixes.size(), 10u);
+    for (const auto &mix : mixes) {
+        for (const auto &app : mix.apps)
+            EXPECT_NO_FATAL_FAILURE(profileByName(app)) << mix.name;
+    }
+    // Spot-check two rows against Table V.
+    EXPECT_EQ(mixes[0].apps[0], "zeusmp06");
+    EXPECT_EQ(mixes[5].apps[1], "xz17");
+}
+
+TEST(Mixes, InstancesHaveDisjointAddressSpaces)
+{
+    const auto apps = instantiateMix(tableVMixes()[0], 2048, 1);
+    ASSERT_EQ(apps.size(), appsPerMix);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        for (std::size_t j = i + 1; j < apps.size(); ++j) {
+            const Addr end_i =
+                apps[i]->addrBase() + apps[i]->footprintBlocks();
+            EXPECT_LE(end_i, apps[j]->addrBase());
+        }
+    }
+}
+
+TEST(AppModel, StreamStaysInFootprint)
+{
+    const AppProfile &profile = profileByName("bwaves17");
+    AppModel app(profile, 1 << 20, 2048, Xoshiro256StarStar(3));
+    for (int i = 0; i < 50000; ++i) {
+        const MemRef ref = app.next();
+        EXPECT_GE(ref.blockNum, app.addrBase());
+        EXPECT_LT(ref.blockNum,
+                  app.addrBase() + app.footprintBlocks());
+    }
+}
+
+TEST(AppModel, SameSeedSameStream)
+{
+    const AppProfile &profile = profileByName("mcf17");
+    AppModel a(profile, 0, 2048, Xoshiro256StarStar(9));
+    AppModel b(profile, 0, 2048, Xoshiro256StarStar(9));
+    for (int i = 0; i < 1000; ++i) {
+        const MemRef ra = a.next();
+        const MemRef rb = b.next();
+        EXPECT_EQ(ra.blockNum, rb.blockNum);
+        EXPECT_EQ(ra.write, rb.write);
+    }
+}
+
+TEST(AppModel, WriteFractionRoughlyRealised)
+{
+    const AppProfile &profile = profileByName("lbm17"); // write-heavy
+    AppModel app(profile, 0, 2048, Xoshiro256StarStar(11));
+    int writes = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        writes += app.next().write;
+    // Write-cycle bursts write ~half their refs, plus residual
+    // dirtiness; expect a clearly write-heavy stream.
+    EXPECT_GT(writes / double(n), 0.1);
+    EXPECT_LT(writes / double(n), 0.6);
+}
+
+TEST(AppModel, EcbSizeMatchesRealCompression)
+{
+    const AppProfile &profile = profileByName("zeusmp06");
+    AppModel app(profile, 0, 2048, Xoshiro256StarStar(13));
+    for (Addr block = 0; block < 200; ++block) {
+        const unsigned cached = app.ecbSizeOf(block);
+        const BlockData data = app.contentOf(block, 0);
+        EXPECT_EQ(cached, BdiCompressor::compress(data).ecbBytes);
+        // Cached lookup is stable.
+        EXPECT_EQ(app.ecbSizeOf(block), cached);
+    }
+}
+
+TEST(AppModel, IncompressibleAppProducesOnly64ByteEcbs)
+{
+    const AppProfile &profile = profileByName("xz17");
+    AppModel app(profile, 0, 2048, Xoshiro256StarStar(17));
+    for (Addr block = 0; block < 100; ++block)
+        EXPECT_EQ(app.ecbSizeOf(block), 64u);
+}
+
+TEST(AppModel, CompressibilityProfileObserved)
+{
+    const AppProfile &profile = profileByName("GemsFDTD06"); // ~92% HCR
+    AppModel app(profile, 0, 2048, Xoshiro256StarStar(19));
+    int hcr = 0;
+    const int n = 2000;
+    for (Addr block = 0; block < n; ++block) {
+        if (compression::classify(app.ecbSizeOf(block)) ==
+            CompressClass::Hcr) {
+            ++hcr;
+        }
+    }
+    EXPECT_NEAR(hcr / double(n), 0.92, 0.04);
+}
+
+TEST(AppModel, WorkingSetsScaleWithLlc)
+{
+    const AppProfile &profile = profileByName("zeusmp06");
+    AppModel small(profile, 0, 1024, Xoshiro256StarStar(1));
+    AppModel large(profile, 0, 4096, Xoshiro256StarStar(1));
+    EXPECT_NEAR(static_cast<double>(large.loopBlocks()) /
+                    static_cast<double>(small.loopBlocks()),
+                4.0, 0.5);
+    EXPECT_NEAR(static_cast<double>(large.footprintBlocks()) /
+                    static_cast<double>(small.footprintBlocks()),
+                4.0, 0.5);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * hllc_replay: replay a captured .hlt trace against a chosen LLC
+ * insertion policy and print hit rate, NVM write traffic, IPC and the
+ * LLC's full statistics.
+ *
+ * Usage: hllc_replay <trace.hlt> [policy] [cpth]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "forecast/forecast.hh"
+#include "sim/config.hh"
+
+using namespace hllc;
+using hybrid::PolicyKind;
+
+namespace
+{
+
+PolicyKind
+parsePolicy(const char *name)
+{
+    static const std::pair<const char *, PolicyKind> table[] = {
+        { "BH", PolicyKind::Bh },           { "BH_CP", PolicyKind::BhCp },
+        { "CA", PolicyKind::Ca },           { "CA_RWR", PolicyKind::CaRwr },
+        { "CP_SD", PolicyKind::CpSd },      { "CP_SD_Th", PolicyKind::CpSdTh },
+        { "LHybrid", PolicyKind::LHybrid }, { "TAP", PolicyKind::Tap },
+        { "SRAM", PolicyKind::SramOnly },
+    };
+    for (const auto &[label, kind] : table) {
+        if (std::strcmp(name, label) == 0)
+            return kind;
+    }
+    fatal("unknown policy '%s'", name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <trace.hlt> [policy] [cpth]\n",
+                     argv[0]);
+        return 2;
+    }
+    const replay::LlcTrace trace = replay::LlcTrace::load(argv[1]);
+    const PolicyKind policy =
+        argc > 2 ? parsePolicy(argv[2]) : PolicyKind::CpSd;
+
+    const sim::SystemConfig config = sim::SystemConfig::tableIV();
+    hybrid::PolicyParams params;
+    if (argc > 3)
+        params.fixedCpth = static_cast<unsigned>(std::atoi(argv[3]));
+    const auto llc_config = policy == PolicyKind::SramOnly
+        ? config.llcConfigSramBound(config.sramWays + config.nvmWays)
+        : config.llcConfig(policy, params);
+
+    std::unique_ptr<fault::EnduranceModel> endurance;
+    std::unique_ptr<fault::FaultMap> map;
+    if (llc_config.nvmWays > 0) {
+        endurance = std::make_unique<fault::EnduranceModel>(
+            config.nvmGeometry(), config.endurance,
+            Xoshiro256StarStar(config.seed));
+        map = std::make_unique<fault::FaultMap>(
+            *endurance, hybrid::InsertionPolicy::create(
+                            llc_config.policy, llc_config.params)
+                            ->granularity());
+    }
+    hybrid::HybridLlc llc(llc_config, map.get());
+
+    const auto agg = forecast::replayAllTraces(
+        { &trace }, llc, config.timing, 0.2);
+
+    std::printf("trace %s (%s): %zu events\n", argv[1],
+                trace.meta().mixName.c_str(), trace.size());
+    std::printf("policy %s | hit rate %.4f | NVM bytes %llu | "
+                "mean IPC %.4f\n",
+                std::string(llc.policy().name()).c_str(), agg.hitRate,
+                static_cast<unsigned long long>(agg.nvmBytesWritten),
+                agg.meanIpc);
+    std::printf("\nLLC statistics:\n");
+    llc.stats().dump(std::cout);
+    return 0;
+}
