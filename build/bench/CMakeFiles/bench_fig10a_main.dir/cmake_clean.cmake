@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_main.dir/bench_fig10a_main.cpp.o"
+  "CMakeFiles/bench_fig10a_main.dir/bench_fig10a_main.cpp.o.d"
+  "bench_fig10a_main"
+  "bench_fig10a_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_proportion.dir/bench_fig10b_proportion.cpp.o"
+  "CMakeFiles/bench_fig10b_proportion.dir/bench_fig10b_proportion.cpp.o.d"
+  "bench_fig10b_proportion"
+  "bench_fig10b_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

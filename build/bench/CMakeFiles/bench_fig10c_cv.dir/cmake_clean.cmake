@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_cv.dir/bench_fig10c_cv.cpp.o"
+  "CMakeFiles/bench_fig10c_cv.dir/bench_fig10c_cv.cpp.o.d"
+  "bench_fig10c_cv"
+  "bench_fig10c_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

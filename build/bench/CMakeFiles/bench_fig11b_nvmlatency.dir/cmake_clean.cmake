@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_nvmlatency.dir/bench_fig11b_nvmlatency.cpp.o"
+  "CMakeFiles/bench_fig11b_nvmlatency.dir/bench_fig11b_nvmlatency.cpp.o.d"
+  "bench_fig11b_nvmlatency"
+  "bench_fig11b_nvmlatency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_nvmlatency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_compressibility.dir/bench_fig2_compressibility.cpp.o"
+  "CMakeFiles/bench_fig2_compressibility.dir/bench_fig2_compressibility.cpp.o.d"
+  "bench_fig2_compressibility"
+  "bench_fig2_compressibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_compressibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

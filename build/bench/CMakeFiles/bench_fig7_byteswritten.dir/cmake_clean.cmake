@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_byteswritten.dir/bench_fig7_byteswritten.cpp.o"
+  "CMakeFiles/bench_fig7_byteswritten.dir/bench_fig7_byteswritten.cpp.o.d"
+  "bench_fig7_byteswritten"
+  "bench_fig7_byteswritten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_byteswritten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

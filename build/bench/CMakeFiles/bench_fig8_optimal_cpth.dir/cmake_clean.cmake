@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_optimal_cpth.dir/bench_fig8_optimal_cpth.cpp.o"
+  "CMakeFiles/bench_fig8_optimal_cpth.dir/bench_fig8_optimal_cpth.cpp.o.d"
+  "bench_fig8_optimal_cpth"
+  "bench_fig8_optimal_cpth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_optimal_cpth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/compressibility_survey.cpp" "examples/CMakeFiles/compressibility_survey.dir/compressibility_survey.cpp.o" "gcc" "examples/CMakeFiles/compressibility_survey.dir/compressibility_survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hllc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressibility_survey.dir/compressibility_survey.cpp.o"
+  "CMakeFiles/compressibility_survey.dir/compressibility_survey.cpp.o.d"
+  "compressibility_survey"
+  "compressibility_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressibility_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

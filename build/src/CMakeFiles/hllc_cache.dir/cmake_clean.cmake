@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc_cache.dir/cache/lru.cc.o"
+  "CMakeFiles/hllc_cache.dir/cache/lru.cc.o.d"
+  "CMakeFiles/hllc_cache.dir/cache/set_assoc.cc.o"
+  "CMakeFiles/hllc_cache.dir/cache/set_assoc.cc.o.d"
+  "libhllc_cache.a"
+  "libhllc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc_common.dir/common/logging.cc.o"
+  "CMakeFiles/hllc_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/hllc_common.dir/common/rng.cc.o"
+  "CMakeFiles/hllc_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/hllc_common.dir/common/stats.cc.o"
+  "CMakeFiles/hllc_common.dir/common/stats.cc.o.d"
+  "libhllc_common.a"
+  "libhllc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

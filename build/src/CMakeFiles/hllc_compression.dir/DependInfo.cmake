@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/bdi.cc" "src/CMakeFiles/hllc_compression.dir/compression/bdi.cc.o" "gcc" "src/CMakeFiles/hllc_compression.dir/compression/bdi.cc.o.d"
+  "/root/repo/src/compression/compressor.cc" "src/CMakeFiles/hllc_compression.dir/compression/compressor.cc.o" "gcc" "src/CMakeFiles/hllc_compression.dir/compression/compressor.cc.o.d"
+  "/root/repo/src/compression/cpack.cc" "src/CMakeFiles/hllc_compression.dir/compression/cpack.cc.o" "gcc" "src/CMakeFiles/hllc_compression.dir/compression/cpack.cc.o.d"
+  "/root/repo/src/compression/encoding.cc" "src/CMakeFiles/hllc_compression.dir/compression/encoding.cc.o" "gcc" "src/CMakeFiles/hllc_compression.dir/compression/encoding.cc.o.d"
+  "/root/repo/src/compression/fpc.cc" "src/CMakeFiles/hllc_compression.dir/compression/fpc.cc.o" "gcc" "src/CMakeFiles/hllc_compression.dir/compression/fpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hllc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc_compression.dir/compression/bdi.cc.o"
+  "CMakeFiles/hllc_compression.dir/compression/bdi.cc.o.d"
+  "CMakeFiles/hllc_compression.dir/compression/compressor.cc.o"
+  "CMakeFiles/hllc_compression.dir/compression/compressor.cc.o.d"
+  "CMakeFiles/hllc_compression.dir/compression/cpack.cc.o"
+  "CMakeFiles/hllc_compression.dir/compression/cpack.cc.o.d"
+  "CMakeFiles/hllc_compression.dir/compression/encoding.cc.o"
+  "CMakeFiles/hllc_compression.dir/compression/encoding.cc.o.d"
+  "CMakeFiles/hllc_compression.dir/compression/fpc.cc.o"
+  "CMakeFiles/hllc_compression.dir/compression/fpc.cc.o.d"
+  "libhllc_compression.a"
+  "libhllc_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

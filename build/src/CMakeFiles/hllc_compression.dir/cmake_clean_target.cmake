@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhllc_compression.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/endurance.cc" "src/CMakeFiles/hllc_fault.dir/fault/endurance.cc.o" "gcc" "src/CMakeFiles/hllc_fault.dir/fault/endurance.cc.o.d"
+  "/root/repo/src/fault/fault_map.cc" "src/CMakeFiles/hllc_fault.dir/fault/fault_map.cc.o" "gcc" "src/CMakeFiles/hllc_fault.dir/fault/fault_map.cc.o.d"
+  "/root/repo/src/fault/rearrangement.cc" "src/CMakeFiles/hllc_fault.dir/fault/rearrangement.cc.o" "gcc" "src/CMakeFiles/hllc_fault.dir/fault/rearrangement.cc.o.d"
+  "/root/repo/src/fault/secded.cc" "src/CMakeFiles/hllc_fault.dir/fault/secded.cc.o" "gcc" "src/CMakeFiles/hllc_fault.dir/fault/secded.cc.o.d"
+  "/root/repo/src/fault/wear_level.cc" "src/CMakeFiles/hllc_fault.dir/fault/wear_level.cc.o" "gcc" "src/CMakeFiles/hllc_fault.dir/fault/wear_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hllc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc_fault.dir/fault/endurance.cc.o"
+  "CMakeFiles/hllc_fault.dir/fault/endurance.cc.o.d"
+  "CMakeFiles/hllc_fault.dir/fault/fault_map.cc.o"
+  "CMakeFiles/hllc_fault.dir/fault/fault_map.cc.o.d"
+  "CMakeFiles/hllc_fault.dir/fault/rearrangement.cc.o"
+  "CMakeFiles/hllc_fault.dir/fault/rearrangement.cc.o.d"
+  "CMakeFiles/hllc_fault.dir/fault/secded.cc.o"
+  "CMakeFiles/hllc_fault.dir/fault/secded.cc.o.d"
+  "CMakeFiles/hllc_fault.dir/fault/wear_level.cc.o"
+  "CMakeFiles/hllc_fault.dir/fault/wear_level.cc.o.d"
+  "libhllc_fault.a"
+  "libhllc_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

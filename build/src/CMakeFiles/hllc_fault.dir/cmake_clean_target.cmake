@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhllc_fault.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc_forecast.dir/forecast/aging.cc.o"
+  "CMakeFiles/hllc_forecast.dir/forecast/aging.cc.o.d"
+  "CMakeFiles/hllc_forecast.dir/forecast/forecast.cc.o"
+  "CMakeFiles/hllc_forecast.dir/forecast/forecast.cc.o.d"
+  "libhllc_forecast.a"
+  "libhllc_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

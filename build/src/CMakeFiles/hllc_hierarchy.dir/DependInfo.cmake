@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/energy.cc" "src/CMakeFiles/hllc_hierarchy.dir/hierarchy/energy.cc.o" "gcc" "src/CMakeFiles/hllc_hierarchy.dir/hierarchy/energy.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy.cc" "src/CMakeFiles/hllc_hierarchy.dir/hierarchy/hierarchy.cc.o" "gcc" "src/CMakeFiles/hllc_hierarchy.dir/hierarchy/hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/private_cache.cc" "src/CMakeFiles/hllc_hierarchy.dir/hierarchy/private_cache.cc.o" "gcc" "src/CMakeFiles/hllc_hierarchy.dir/hierarchy/private_cache.cc.o.d"
+  "/root/repo/src/hierarchy/timing.cc" "src/CMakeFiles/hllc_hierarchy.dir/hierarchy/timing.cc.o" "gcc" "src/CMakeFiles/hllc_hierarchy.dir/hierarchy/timing.cc.o.d"
+  "/root/repo/src/hierarchy/trace_recorder.cc" "src/CMakeFiles/hllc_hierarchy.dir/hierarchy/trace_recorder.cc.o" "gcc" "src/CMakeFiles/hllc_hierarchy.dir/hierarchy/trace_recorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hllc_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

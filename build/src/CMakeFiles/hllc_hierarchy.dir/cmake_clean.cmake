@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc_hierarchy.dir/hierarchy/energy.cc.o"
+  "CMakeFiles/hllc_hierarchy.dir/hierarchy/energy.cc.o.d"
+  "CMakeFiles/hllc_hierarchy.dir/hierarchy/hierarchy.cc.o"
+  "CMakeFiles/hllc_hierarchy.dir/hierarchy/hierarchy.cc.o.d"
+  "CMakeFiles/hllc_hierarchy.dir/hierarchy/private_cache.cc.o"
+  "CMakeFiles/hllc_hierarchy.dir/hierarchy/private_cache.cc.o.d"
+  "CMakeFiles/hllc_hierarchy.dir/hierarchy/timing.cc.o"
+  "CMakeFiles/hllc_hierarchy.dir/hierarchy/timing.cc.o.d"
+  "CMakeFiles/hllc_hierarchy.dir/hierarchy/trace_recorder.cc.o"
+  "CMakeFiles/hllc_hierarchy.dir/hierarchy/trace_recorder.cc.o.d"
+  "libhllc_hierarchy.a"
+  "libhllc_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hybrid/hybrid_llc.cc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/hybrid_llc.cc.o" "gcc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/hybrid_llc.cc.o.d"
+  "/root/repo/src/hybrid/insertion_policy.cc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/insertion_policy.cc.o" "gcc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/insertion_policy.cc.o.d"
+  "/root/repo/src/hybrid/policy_bh.cc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/policy_bh.cc.o" "gcc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/policy_bh.cc.o.d"
+  "/root/repo/src/hybrid/policy_ca.cc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/policy_ca.cc.o" "gcc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/policy_ca.cc.o.d"
+  "/root/repo/src/hybrid/policy_cpsd.cc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/policy_cpsd.cc.o" "gcc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/policy_cpsd.cc.o.d"
+  "/root/repo/src/hybrid/policy_lhybrid.cc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/policy_lhybrid.cc.o" "gcc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/policy_lhybrid.cc.o.d"
+  "/root/repo/src/hybrid/policy_tap.cc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/policy_tap.cc.o" "gcc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/policy_tap.cc.o.d"
+  "/root/repo/src/hybrid/set_dueling.cc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/set_dueling.cc.o" "gcc" "src/CMakeFiles/hllc_hybrid.dir/hybrid/set_dueling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hllc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

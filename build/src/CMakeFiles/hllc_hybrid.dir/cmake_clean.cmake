@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc_hybrid.dir/hybrid/hybrid_llc.cc.o"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/hybrid_llc.cc.o.d"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/insertion_policy.cc.o"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/insertion_policy.cc.o.d"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/policy_bh.cc.o"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/policy_bh.cc.o.d"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/policy_ca.cc.o"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/policy_ca.cc.o.d"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/policy_cpsd.cc.o"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/policy_cpsd.cc.o.d"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/policy_lhybrid.cc.o"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/policy_lhybrid.cc.o.d"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/policy_tap.cc.o"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/policy_tap.cc.o.d"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/set_dueling.cc.o"
+  "CMakeFiles/hllc_hybrid.dir/hybrid/set_dueling.cc.o.d"
+  "libhllc_hybrid.a"
+  "libhllc_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc_replay.dir/replay/llc_trace.cc.o"
+  "CMakeFiles/hllc_replay.dir/replay/llc_trace.cc.o.d"
+  "CMakeFiles/hllc_replay.dir/replay/replayer.cc.o"
+  "CMakeFiles/hllc_replay.dir/replay/replayer.cc.o.d"
+  "libhllc_replay.a"
+  "libhllc_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc_sim.dir/sim/config.cc.o"
+  "CMakeFiles/hllc_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/hllc_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/hllc_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/hllc_sim.dir/sim/system.cc.o"
+  "CMakeFiles/hllc_sim.dir/sim/system.cc.o.d"
+  "libhllc_sim.a"
+  "libhllc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhllc_sim.a"
+)

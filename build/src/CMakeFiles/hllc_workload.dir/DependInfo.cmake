@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_model.cc" "src/CMakeFiles/hllc_workload.dir/workload/app_model.cc.o" "gcc" "src/CMakeFiles/hllc_workload.dir/workload/app_model.cc.o.d"
+  "/root/repo/src/workload/block_synth.cc" "src/CMakeFiles/hllc_workload.dir/workload/block_synth.cc.o" "gcc" "src/CMakeFiles/hllc_workload.dir/workload/block_synth.cc.o.d"
+  "/root/repo/src/workload/mixes.cc" "src/CMakeFiles/hllc_workload.dir/workload/mixes.cc.o" "gcc" "src/CMakeFiles/hllc_workload.dir/workload/mixes.cc.o.d"
+  "/root/repo/src/workload/spec_profiles.cc" "src/CMakeFiles/hllc_workload.dir/workload/spec_profiles.cc.o" "gcc" "src/CMakeFiles/hllc_workload.dir/workload/spec_profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hllc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc_workload.dir/workload/app_model.cc.o"
+  "CMakeFiles/hllc_workload.dir/workload/app_model.cc.o.d"
+  "CMakeFiles/hllc_workload.dir/workload/block_synth.cc.o"
+  "CMakeFiles/hllc_workload.dir/workload/block_synth.cc.o.d"
+  "CMakeFiles/hllc_workload.dir/workload/mixes.cc.o"
+  "CMakeFiles/hllc_workload.dir/workload/mixes.cc.o.d"
+  "CMakeFiles/hllc_workload.dir/workload/spec_profiles.cc.o"
+  "CMakeFiles/hllc_workload.dir/workload/spec_profiles.cc.o.d"
+  "libhllc_workload.a"
+  "libhllc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bdi.cc" "tests/CMakeFiles/hllc_tests.dir/test_bdi.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_bdi.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/hllc_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_capture_fidelity.cc" "tests/CMakeFiles/hllc_tests.dir/test_capture_fidelity.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_capture_fidelity.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/hllc_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_compressor.cc" "tests/CMakeFiles/hllc_tests.dir/test_compressor.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_compressor.cc.o.d"
+  "/root/repo/tests/test_cpack.cc" "tests/CMakeFiles/hllc_tests.dir/test_cpack.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_cpack.cc.o.d"
+  "/root/repo/tests/test_encoding.cc" "tests/CMakeFiles/hllc_tests.dir/test_encoding.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_encoding.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/hllc_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/hllc_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_fault.cc" "tests/CMakeFiles/hllc_tests.dir/test_fault.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_fault.cc.o.d"
+  "/root/repo/tests/test_forecast.cc" "tests/CMakeFiles/hllc_tests.dir/test_forecast.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_forecast.cc.o.d"
+  "/root/repo/tests/test_fpc.cc" "tests/CMakeFiles/hllc_tests.dir/test_fpc.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_fpc.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/hllc_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_hybrid_llc.cc" "tests/CMakeFiles/hllc_tests.dir/test_hybrid_llc.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_hybrid_llc.cc.o.d"
+  "/root/repo/tests/test_llc_properties.cc" "tests/CMakeFiles/hllc_tests.dir/test_llc_properties.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_llc_properties.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/hllc_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_rearrangement.cc" "tests/CMakeFiles/hllc_tests.dir/test_rearrangement.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_rearrangement.cc.o.d"
+  "/root/repo/tests/test_replay.cc" "tests/CMakeFiles/hllc_tests.dir/test_replay.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_replay.cc.o.d"
+  "/root/repo/tests/test_secded.cc" "tests/CMakeFiles/hllc_tests.dir/test_secded.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_secded.cc.o.d"
+  "/root/repo/tests/test_set_dueling.cc" "tests/CMakeFiles/hllc_tests.dir/test_set_dueling.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_set_dueling.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/hllc_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_srrip.cc" "tests/CMakeFiles/hllc_tests.dir/test_srrip.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_srrip.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/hllc_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/hllc_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hllc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hllc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc-replay.dir/hllc_replay.cpp.o"
+  "CMakeFiles/hllc-replay.dir/hllc_replay.cpp.o.d"
+  "hllc-replay"
+  "hllc-replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc-replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

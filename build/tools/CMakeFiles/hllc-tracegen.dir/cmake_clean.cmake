@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hllc-tracegen.dir/hllc_tracegen.cpp.o"
+  "CMakeFiles/hllc-tracegen.dir/hllc_tracegen.cpp.o.d"
+  "hllc-tracegen"
+  "hllc-tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hllc-tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
