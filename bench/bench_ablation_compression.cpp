@@ -12,16 +12,17 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using compression::Scheme;
 using hybrid::PolicyKind;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
+    const unsigned jobs = sim::parseJobsArg(argc, argv);
 
     std::printf("# Ablation: CP_SD under different compression schemes\n");
     std::printf("%-8s %10s %12s %12s %12s %12s\n", "scheme", "avg ECB",
@@ -31,12 +32,18 @@ main()
          { Scheme::Bdi, Scheme::Fpc, Scheme::CPack }) {
         sim::SystemConfig config = sim::SystemConfig::tableIV();
         config.scheme = scheme;
+        config.jobs = jobs;
         const sim::Experiment experiment(config, 10);
 
-        const auto bh =
-            experiment.runPhase(config.llcConfig(PolicyKind::Bh), "BH");
-        const auto cpsd = experiment.runPhase(
-            config.llcConfig(PolicyKind::CpSd), "CP_SD");
+        // Both policy phases of this scheme replay in parallel.
+        const auto phases = sim::runPhaseGrid(
+            experiment,
+            { { "BH", config.llcConfig(PolicyKind::Bh), 1.0,
+                sim::allMixes },
+              { "CP_SD", config.llcConfig(PolicyKind::CpSd), 1.0,
+                sim::allMixes } });
+        const auto &bh = phases[0];
+        const auto &cpsd = phases[1];
 
         // Mean ECB over the captured Put events.
         std::uint64_t ecb_sum = 0, puts = 0;

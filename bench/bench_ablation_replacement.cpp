@@ -10,31 +10,47 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using hybrid::PolicyKind;
 using hybrid::ReplacementKind;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
-    const sim::SystemConfig config = sim::SystemConfig::tableIV();
+    sim::SystemConfig config = sim::SystemConfig::tableIV();
+    config.jobs = sim::parseJobsArg(argc, argv);
     sim::printConfigHeader(config,
                            "Ablation: LRU vs SRRIP replacement");
     const sim::Experiment experiment(config, 10);
 
-    std::printf("\n%-10s %-7s %10s %14s %10s\n", "policy", "repl",
-                "hit rate", "NVM bytes", "IPC");
-    for (const PolicyKind policy :
-         { PolicyKind::Bh, PolicyKind::LHybrid, PolicyKind::CpSd }) {
-        for (const ReplacementKind repl :
-             { ReplacementKind::Lru, ReplacementKind::Srrip }) {
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::Bh, PolicyKind::LHybrid, PolicyKind::CpSd
+    };
+    const std::vector<ReplacementKind> replacements = {
+        ReplacementKind::Lru, ReplacementKind::Srrip
+    };
+
+    // policy x replacement grid, row-major.
+    std::vector<sim::PhaseCell> cells;
+    for (const PolicyKind policy : policies) {
+        for (const ReplacementKind repl : replacements) {
             auto llc = config.llcConfig(policy);
             llc.replacement = repl;
-            const auto phase = experiment.runPhase(
-                llc, std::string(policyName(policy)));
+            cells.push_back({ std::string(policyName(policy)), llc,
+                              1.0, sim::allMixes });
+        }
+    }
+    const auto phases = sim::runPhaseGrid(experiment, cells);
+
+    std::printf("\n%-10s %-7s %10s %14s %10s\n", "policy", "repl",
+                "hit rate", "NVM bytes", "IPC");
+    std::size_t cell = 0;
+    for (const PolicyKind policy : policies) {
+        for (const ReplacementKind repl : replacements) {
+            const auto &phase = phases[cell++];
             std::printf("%-10s %-7s %10.4f %14llu %10.4f\n",
                         std::string(policyName(policy)).c_str(),
                         repl == ReplacementKind::Lru ? "LRU" : "SRRIP",

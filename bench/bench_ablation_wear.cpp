@@ -14,33 +14,48 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using fault::WearDistribution;
 using hybrid::PolicyKind;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
-    const sim::SystemConfig config = sim::SystemConfig::tableIV();
+    sim::SystemConfig config = sim::SystemConfig::tableIV();
+    config.jobs = sim::parseJobsArg(argc, argv);
     sim::printConfigHeader(config,
                            "Ablation: intra-frame wear leveling");
     const sim::Experiment experiment(config, 10);
 
-    std::printf("\n%-10s %-12s %10s %10s %12s\n", "policy", "leveling",
-                "months", "fs.months", "cap@end");
-    for (const PolicyKind policy :
-         { PolicyKind::BhCp, PolicyKind::CpSd }) {
-        for (const WearDistribution dist :
-             { WearDistribution::Leveled,
-               WearDistribution::FrontLoaded }) {
+    const std::vector<PolicyKind> policies = { PolicyKind::BhCp,
+                                               PolicyKind::CpSd };
+    const std::vector<WearDistribution> dists = {
+        WearDistribution::Leveled, WearDistribution::FrontLoaded
+    };
+
+    // Forecast cells differ in ForecastConfig (not just geometry), so
+    // this sweep uses the generic runGrid directly.
+    const auto summaries = sim::runGrid(
+        policies.size() * dists.size(),
+        [&](std::size_t i) {
+            const PolicyKind policy = policies[i / dists.size()];
             forecast::ForecastConfig fc;
-            fc.wearDistribution = dist;
-            const auto summary = experiment.runForecast(
+            fc.wearDistribution = dists[i % dists.size()];
+            return experiment.runForecast(
                 config.llcConfig(policy),
                 std::string(policyName(policy)), fc);
+        },
+        config.jobs);
+
+    std::printf("\n%-10s %-12s %10s %10s %12s\n", "policy", "leveling",
+                "months", "fs.months", "cap@end");
+    std::size_t cell = 0;
+    for (const PolicyKind policy : policies) {
+        for (const WearDistribution dist : dists) {
+            const auto &summary = summaries[cell++];
             std::printf("%-10s %-12s %10.3f %10.2f %12.4f\n",
                         std::string(policyName(policy)).c_str(),
                         dist == WearDistribution::Leveled

@@ -15,16 +15,17 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using hybrid::PolicyKind;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
-    const sim::SystemConfig config = sim::SystemConfig::tableIV();
+    sim::SystemConfig config = sim::SystemConfig::tableIV();
+    config.jobs = sim::parseJobsArg(argc, argv);
     sim::printConfigHeader(
         config, "Figures 1 / 10a: performance vs lifetime (main result)");
 

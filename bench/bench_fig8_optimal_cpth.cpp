@@ -16,7 +16,7 @@
 
 #include "common/logging.hh"
 #include "compression/encoding.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using hybrid::PolicyKind;
@@ -41,36 +41,50 @@ printDistribution(const char *row_label,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
-    const sim::SystemConfig config = sim::SystemConfig::tableIV();
+    sim::SystemConfig config = sim::SystemConfig::tableIV();
+    config.jobs = sim::parseJobsArg(argc, argv);
     sim::printConfigHeader(
         config, "Figure 8: distribution of per-epoch optimal CPth");
     const sim::Experiment experiment(config);
+
+    // One grid over both sub-figures: the capacity sweep (a) followed
+    // by the per-mix cells (b), replayed in parallel and printed in
+    // cell order.
+    const std::vector<double> capacities = { 1.0, 0.9, 0.8,
+                                             0.7, 0.6, 0.5 };
+    const std::size_t num_mixes = experiment.traces().size();
+    std::vector<sim::PhaseCell> cells;
+    for (double capacity : capacities) {
+        cells.push_back({ "CP_SD", config.llcConfig(PolicyKind::CpSd),
+                          capacity, sim::allMixes });
+    }
+    for (std::size_t mix = 0; mix < num_mixes; ++mix) {
+        cells.push_back({ "CP_SD", config.llcConfig(PolicyKind::CpSd),
+                          1.0, mix });
+    }
+    const auto phases = sim::runPhaseGrid(experiment, cells);
 
     std::printf("\ncolumns: CPth =");
     for (unsigned c : compression::cpthCandidates())
         std::printf(" %u", c);
     std::printf("\n\n# (a) by NVM effective capacity, all mixes\n");
 
-    for (double capacity : { 1.0, 0.9, 0.8, 0.7, 0.6, 0.5 }) {
-        const auto phase = experiment.runPhase(
-            config.llcConfig(PolicyKind::CpSd), "CP_SD", capacity);
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
         char label[16];
         std::snprintf(label, sizeof(label), "%3.0f%%",
-                      100.0 * capacity);
-        printDistribution(label, phase.winnerHistory);
+                      100.0 * capacities[i]);
+        printDistribution(label, phases[i].winnerHistory);
     }
 
     std::printf("\n# (b) by mix, 100%% NVM capacity\n");
-    for (std::size_t mix = 0; mix < experiment.traces().size(); ++mix) {
-        const auto phase = experiment.runPhase(
-            config.llcConfig(PolicyKind::CpSd), "CP_SD", 1.0,
-            experiment.tracePtr(mix));
+    for (std::size_t mix = 0; mix < num_mixes; ++mix) {
         char label[16];
         std::snprintf(label, sizeof(label), "mix %zu", mix + 1);
-        printDistribution(label, phase.winnerHistory);
+        printDistribution(label,
+                          phases[capacities.size() + mix].winnerHistory);
     }
     return 0;
 }

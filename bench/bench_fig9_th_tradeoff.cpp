@@ -13,40 +13,62 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using hybrid::PolicyKind;
 
+namespace
+{
+
+constexpr double kCapacities[] = { 1.0, 0.9, 0.8 };
+constexpr double kThValues[] = { 0.0, 2.0, 4.0, 6.0, 8.0 };
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
-    const sim::SystemConfig config = sim::SystemConfig::tableIV();
+    sim::SystemConfig config = sim::SystemConfig::tableIV();
+    config.jobs = sim::parseJobsArg(argc, argv);
     sim::printConfigHeader(
         config,
         "Figure 9: CP_SD_Th hits vs NVM bytes written (Tw = 5%)");
     const sim::Experiment experiment(config);
 
-    const auto bh = experiment.runPhase(
-        config.llcConfig(PolicyKind::Bh), "BH", 1.0);
-    const double bh_hits =
-        static_cast<double>(bh.aggregate.demandHits);
-    const double bh_bytes =
-        static_cast<double>(bh.aggregate.nvmBytesWritten);
-
-    std::printf("\n%8s %6s %12s %12s\n", "capacity", "Th",
-                "norm.hits", "norm.bytes");
-    for (double capacity : { 1.0, 0.9, 0.8 }) {
-        for (double th : { 0.0, 2.0, 4.0, 6.0, 8.0 }) {
+    // Cell 0 is the BH baseline; the capacity x Th sweep follows in
+    // row-major order, so the printout below is byte-identical to the
+    // historical serial loop for any --jobs value.
+    std::vector<sim::PhaseCell> cells;
+    cells.push_back({ "BH", config.llcConfig(PolicyKind::Bh), 1.0,
+                      sim::allMixes });
+    for (double capacity : kCapacities) {
+        for (double th : kThValues) {
             hybrid::PolicyParams params;
             params.thPercent = th;
             params.twPercent = 5.0;
             // Th = 0 is plain CP_SD (max-hits winner).
             const auto policy = th == 0.0 ? PolicyKind::CpSd
                                           : PolicyKind::CpSdTh;
-            const auto phase = experiment.runPhase(
-                config.llcConfig(policy, params), "CP_SD_Th", capacity);
+            cells.push_back({ "CP_SD_Th",
+                              config.llcConfig(policy, params),
+                              capacity, sim::allMixes });
+        }
+    }
+    const auto phases = sim::runPhaseGrid(experiment, cells);
+
+    const double bh_hits =
+        static_cast<double>(phases[0].aggregate.demandHits);
+    const double bh_bytes =
+        static_cast<double>(phases[0].aggregate.nvmBytesWritten);
+
+    std::printf("\n%8s %6s %12s %12s\n", "capacity", "Th",
+                "norm.hits", "norm.bytes");
+    std::size_t cell = 1;
+    for (double capacity : kCapacities) {
+        for (double th : kThValues) {
+            const auto &phase = phases[cell++];
             std::printf("%7.0f%% %6.0f %12.4f %12.4f\n",
                         100.0 * capacity, th,
                         phase.aggregate.demandHits / bh_hits,

@@ -124,4 +124,18 @@ Xoshiro256StarStar::fork(std::uint64_t salt)
     return Xoshiro256StarStar(mix64(next() ^ mix64(salt)));
 }
 
+Xoshiro256StarStar
+childStream(std::uint64_t seed, std::uint64_t i, std::uint64_t j)
+{
+    Xoshiro256StarStar root(seed);
+    Xoshiro256StarStar row = root.fork(i);
+    return row.fork(j);
+}
+
+std::uint64_t
+childSeed(std::uint64_t seed, std::uint64_t i, std::uint64_t j)
+{
+    return childStream(seed, i, j).next();
+}
+
 } // namespace hllc

@@ -73,6 +73,21 @@ class Xoshiro256StarStar
  */
 std::uint64_t mix64(std::uint64_t x);
 
+/**
+ * Deterministic child stream keyed on (@p seed, @p i, @p j): a fresh
+ * root generator seeded with @p seed is forked on @p i and then on
+ * @p j. This is how parallel grid cells (mix index i, policy index j)
+ * obtain independent randomness — the result depends only on the three
+ * keys, never on which thread runs the cell or in what order cells are
+ * submitted, so jobs=1 and jobs=N runs are bit-identical.
+ */
+Xoshiro256StarStar childStream(std::uint64_t seed, std::uint64_t i,
+                               std::uint64_t j = 0);
+
+/** Convenience: a 64-bit seed drawn from childStream(seed, i, j). */
+std::uint64_t childSeed(std::uint64_t seed, std::uint64_t i,
+                        std::uint64_t j = 0);
+
 } // namespace hllc
 
 #endif // HLLC_COMMON_RNG_HH

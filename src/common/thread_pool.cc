@@ -1,0 +1,94 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+
+namespace hllc
+{
+
+ThreadPool::ThreadPool(unsigned num_workers)
+{
+    if (num_workers == 0)
+        num_workers = 1;
+    workers_.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    available_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            // Drain-on-stop: only exit once the queue is empty, so work
+            // submitted before destruction still completes.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // packaged_task captures any exception in its future
+    }
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("HLLC_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<unsigned>(parsed);
+        return 1;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+parallelFor(unsigned jobs, std::size_t n,
+            const std::function<void(std::size_t)> &body)
+{
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    ThreadPool pool(jobs);
+    std::vector<std::future<void>> pending;
+    pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pending.push_back(pool.submit([&body, i] { body(i); }));
+
+    // Wait on every iteration (even after a failure, so that bodies
+    // referencing caller state never outlive this frame), then rethrow
+    // the lowest-index exception for a deterministic error report.
+    std::exception_ptr first_error;
+    for (auto &future : pending) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace hllc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A minimal fixed-size thread pool for the embarrassingly parallel
+ * policy×mix grids the experiments run.
+ *
+ * Design constraints (see DESIGN.md §7):
+ *  - no work stealing: one mutex-protected FIFO queue shared by all
+ *    workers, because grid cells are seconds-long and queue contention
+ *    is irrelevant at that granularity;
+ *  - determinism is the caller's job: tasks must derive any randomness
+ *    from their grid coordinates (never from thread id or execution
+ *    order) and write results into pre-sized slots;
+ *  - jobs == 1 bypasses the workers entirely, so the serial path stays
+ *    exercisable (and debuggable) with the same code.
+ */
+
+#ifndef HLLC_COMMON_THREAD_POOL_HH
+#define HLLC_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hllc
+{
+
+/**
+ * Fixed worker count, FIFO dispatch, futures out. Destruction drains the
+ * queue: tasks already submitted still run before the workers join.
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_workers worker threads; 0 is clamped to 1. */
+    explicit ThreadPool(unsigned num_workers);
+
+    /** Runs every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned numWorkers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Queue @p task for execution; the returned future yields its result
+     * or rethrows the exception it exited with.
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<F>>
+    submit(F task)
+    {
+        using R = std::invoke_result_t<F>;
+        // packaged_task is move-only but std::function requires copyable
+        // targets, so the task rides behind a shared_ptr.
+        auto packaged = std::make_shared<std::packaged_task<R()>>(
+            std::move(task));
+        std::future<R> result = packaged->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([packaged] { (*packaged)(); });
+        }
+        available_.notify_one();
+        return result;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable available_;
+    bool stopping_ = false;
+};
+
+/**
+ * Number of parallel jobs to use by default: the HLLC_JOBS environment
+ * variable if set (values < 1 clamp to 1), otherwise
+ * hardware_concurrency().
+ */
+unsigned defaultJobs();
+
+/**
+ * Run body(0) .. body(n - 1) on @p jobs workers (inline when jobs <= 1
+ * or n <= 1) and wait for all of them. Iterations are dispatched in
+ * index order; if any iteration throws, the first (lowest-index)
+ * exception is rethrown after every iteration has finished.
+ *
+ * The iteration index is the only coupling between body and schedule:
+ * bodies must key any randomness on it, not on thread identity.
+ */
+void parallelFor(unsigned jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace hllc
+
+#endif // HLLC_COMMON_THREAD_POOL_HH

@@ -26,7 +26,15 @@ writeValue(BlockData &data, unsigned k, unsigned idx, std::uint64_t v)
     std::memcpy(data.data() + static_cast<std::size_t>(idx) * k, &v, k);
 }
 
-/** Sign-extend the low @p k bytes of @p v to 64 bits. */
+/**
+ * Sign-extend the low @p k bytes of @p v to 64 bits. The k == 8 branch
+ * must short-circuit: the general expression would shift by 0 after an
+ * information-free cast, but writing it separately also documents that
+ * 8-byte values are already full-width (and keeps the shift count in
+ * [8, 56], well-defined). C++20 guarantees two's complement, so the
+ * cast + arithmetic right shift is exact for all inputs including
+ * 0x80..00 (the k-byte lower bound).
+ */
 std::int64_t
 signExtend(std::uint64_t v, unsigned k)
 {
@@ -36,7 +44,13 @@ signExtend(std::uint64_t v, unsigned k)
     return static_cast<std::int64_t>(v << shift) >> shift;
 }
 
-/** Whether signed @p delta is representable in @p d bytes. */
+/**
+ * Whether signed @p delta is representable in @p d bytes. The bounds
+ * are asymmetric — the lower bound -2^(8d-1) is representable, the
+ * upper bound +2^(8d-1) is not — and d == 8 must short-circuit to
+ * avoid shifting into the sign bit (1 << 63 overflows int64); at
+ * d == 8 every delta fits because the subtractor is 64 bits wide.
+ */
 bool
 fitsSigned(std::int64_t delta, unsigned d)
 {
@@ -75,9 +89,13 @@ baseDeltaFits(const BlockData &data, unsigned k, unsigned d)
     const unsigned values = blockBytes / k;
     for (unsigned i = 1; i < values; ++i) {
         const std::int64_t v = signExtend(readValue(data, k, i), k);
-        // The difference of two sign-extended k-byte values always fits
-        // in 64 bits for k <= 8 except k == 8, where two's-complement
-        // wrap-around matches the hardware subtractor.
+        // The difference of two sign-extended k-byte values is exact in
+        // 64 bits for k < 8 (|v - base| < 2^(8k), no wrap); for k == 8
+        // the two's-complement wrap-around matches the 64-bit hardware
+        // subtractor, so e.g. base INT64_MIN / v INT64_MAX yields delta
+        // -1 and the pair is B8D1-compressible. For k < 8 there is
+        // deliberately no mod-2^(8k) wrap: deltas are arithmetic, so
+        // that same extreme pair at k-byte width does NOT fit.
         const std::int64_t delta =
             static_cast<std::int64_t>(static_cast<std::uint64_t>(v) -
                                       static_cast<std::uint64_t>(base));

@@ -33,6 +33,13 @@ SetDueling::SetDueling(std::uint32_t num_sets,
     HLLC_ASSERT(epoch_cycles > 0);
     HLLC_ASSERT(th_ >= 0.0 && tw_ >= 0.0);
 
+    // When num_sets is not a multiple of the 32 dueling slots, the
+    // trailing partial stripe would give slots 0..(num_sets % 32 - 1)
+    // one leader set more than the rest, biasing the hit/bytes race
+    // toward low-index (small-CPth) candidates. Keep leader groups
+    // equal-sized by making the trailing sets plain followers.
+    leaderSets_ = num_sets - num_sets % duelingSlots;
+
     // Start following the largest CPth: closest to the unconstrained
     // (BH-like) insertion behaviour until the first epoch resolves.
     winner_ = candidates_.back();
@@ -43,6 +50,8 @@ SetDueling::SetDueling(std::uint32_t num_sets,
 int
 SetDueling::leaderGroup(std::uint32_t set) const
 {
+    if (set >= leaderSets_)
+        return -1; // partial trailing stripe: followers only
     const std::uint32_t slot = set % duelingSlots;
     return slot < candidates_.size() ? static_cast<int>(slot) : -1;
 }

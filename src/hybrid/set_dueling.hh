@@ -2,9 +2,11 @@
  * @file
  * Set Dueling machinery for runtime CPth selection (paper Sec. IV-C/D).
  *
- * Each candidate CPth value owns a leader group of numSets/32 sample sets
- * (sets whose index modulo 32 equals the candidate's rank); all remaining
- * sets follow the winning candidate. Leader groups accumulate LLC hits and
+ * Each candidate CPth value owns a leader group of floor(numSets/32)
+ * sample sets (sets whose index modulo 32 equals the candidate's rank);
+ * all remaining sets — including any trailing partial stripe when
+ * numSets is not a multiple of 32, so every leader group has the same
+ * size — follow the winning candidate. Leader groups accumulate LLC hits and
  * NVM bytes written; at every epoch boundary (2M cycles by default) the
  * winner is recomputed:
  *
@@ -29,7 +31,8 @@ class SetDueling
 {
   public:
     /**
-     * @param num_sets LLC sets (leader groups are sets mod 32)
+     * @param num_sets LLC sets (leader groups are sets mod 32 within
+     *        the full stripes; a trailing partial stripe follows)
      * @param candidates CPth values to duel, ascending
      * @param epoch_cycles epoch length
      * @param th_percent hits we are willing to sacrifice (Th); 0 = CP_SD
@@ -89,6 +92,9 @@ class SetDueling
     Cycle epochCycles_;
     double th_;
     double tw_;
+
+    /** Sets in full 32-slot stripes; trailing sets are followers. */
+    std::uint32_t leaderSets_ = 0;
 
     unsigned winner_;
     Cycle clock_ = 0;

@@ -48,6 +48,12 @@ struct SystemConfig
     Cycle epochCycles = 200'000;
     /** Master seed (workloads and endurance fabric). */
     std::uint64_t seed = 42;
+    /**
+     * Worker threads for trace capture and experiment grids: 0 = auto
+     * (HLLC_JOBS environment variable, else hardware_concurrency); 1 =
+     * serial. Results are identical for every value (see sim/grid.hh).
+     */
+    unsigned jobs = 0;
     /** Compression scheme (the paper uses modified BDI). */
     compression::Scheme scheme = compression::Scheme::Bdi;
 

@@ -3,7 +3,9 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "hierarchy/hierarchy.hh"
+#include "sim/grid.hh"
 
 namespace hllc::sim
 {
@@ -18,15 +20,22 @@ Experiment::Experiment(SystemConfig config, std::size_t num_mixes)
     const auto &mixes = workload::tableVMixes();
     HLLC_ASSERT(num_mixes >= 1 && num_mixes <= mixes.size());
 
-    traces_.reserve(num_mixes);
-    for (std::size_t i = 0; i < num_mixes; ++i) {
-        inform("capturing %s (%llu refs/core)...",
-               mixes[i].name.c_str(),
-               static_cast<unsigned long long>(config_.refsPerCore));
-        traces_.push_back(hierarchy::captureTrace(
+    const unsigned jobs = resolveJobs(config_.jobs);
+    inform("capturing %zu mixes (%llu refs/core, %u jobs)...",
+           num_mixes,
+           static_cast<unsigned long long>(config_.refsPerCore), jobs);
+
+    // Every mix captures into its own pre-sized slot with a child seed
+    // keyed on (master seed, mix index): the traces are bit-identical
+    // for any jobs value. MixSimulation instances share no mutable
+    // state (workload tables are immutable after first use).
+    traces_.resize(num_mixes);
+    parallelFor(jobs, num_mixes, [&](std::size_t i) {
+        traces_[i] = hierarchy::captureTrace(
             mixes[i], config_.llcBlocks(), config_.privateCaches,
-            config_.refsPerCore, config_.seed + i, config_.scheme));
-    }
+            config_.refsPerCore, childSeed(config_.seed, i),
+            config_.scheme);
+    });
 }
 
 std::vector<const LlcTrace *>
@@ -111,13 +120,13 @@ Experiment::runPhase(const hybrid::HybridLlcConfig &llc, std::string label,
 double
 Experiment::upperBoundIpc() const
 {
-    if (upperBoundIpc_ < 0.0) {
+    std::call_once(upperBoundOnce_, [this] {
         const auto llc = config_.llcConfigSramBound(config_.sramWays +
                                                     config_.nvmWays);
         hybrid::HybridLlc cache(llc, nullptr);
         upperBoundIpc_ = forecast::replayAllTraces(
             tracePtrs(), cache, config_.timing, 0.2).meanIpc;
-    }
+    });
     return upperBoundIpc_;
 }
 
@@ -191,13 +200,10 @@ runAndPrintForecastStudy(const Experiment &experiment,
                 "equivalent = months x %.3g\n",
                 config.scale, config.fullScaleFactor());
 
-    std::vector<ForecastSummary> summaries;
-    summaries.reserve(entries.size());
-    for (const auto &entry : entries) {
-        inform("forecasting %s...", entry.label.c_str());
-        summaries.push_back(
-            experiment.runForecast(entry.llc, entry.label, fc));
-    }
+    inform("forecasting %zu policies (%u jobs)...", entries.size(),
+           resolveJobs(config.jobs));
+    const std::vector<ForecastSummary> summaries =
+        runForecastGrid(experiment, entries, fc);
 
     std::printf("\n# time series (one row per forecast point)\n");
     std::printf("%-12s %10s %10s %10s %10s\n", "policy", "months",

@@ -9,6 +9,7 @@
 #ifndef HLLC_SIM_EXPERIMENT_HH
 #define HLLC_SIM_EXPERIMENT_HH
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,9 @@ class Experiment
     /**
      * Capture the LLC traces of the first @p num_mixes Table V mixes at
      * @p config's scale (logged, as capture dominates start-up time).
+     * Mixes capture in parallel on config.jobs workers; every mix draws
+     * its workload stream from childSeed(config.seed, mix index), so the
+     * traces are bit-identical regardless of the jobs value.
      */
     explicit Experiment(SystemConfig config, std::size_t num_mixes = 10);
 
@@ -75,12 +79,16 @@ class Experiment
              double capacity = 1.0,
              std::vector<const replay::LlcTrace *> traces = {}) const;
 
-    /** Mean IPC of the 16-way SRAM upper bound (normalisation basis). */
+    /**
+     * Mean IPC of the 16-way SRAM upper bound (normalisation basis).
+     * Computed once on first use; safe to call from parallel grid cells.
+     */
     double upperBoundIpc() const;
 
   private:
     SystemConfig config_;
     std::vector<replay::LlcTrace> traces_;
+    mutable std::once_flag upperBoundOnce_;
     mutable double upperBoundIpc_ = -1.0;
 };
 

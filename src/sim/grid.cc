@@ -1,0 +1,72 @@
+#include "sim/grid.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hllc::sim
+{
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    return jobs == 0 ? defaultJobs() : jobs;
+}
+
+unsigned
+parseJobsArg(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") != 0 &&
+            std::strcmp(argv[i], "-j") != 0) {
+            continue;
+        }
+        if (i + 1 >= argc)
+            fatal("%s requires a value", argv[i]);
+        char *end = nullptr;
+        const long parsed = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0' || parsed < 1)
+            fatal("bad jobs value '%s'", argv[i + 1]);
+        return static_cast<unsigned>(parsed);
+    }
+    return 0;
+}
+
+std::vector<ForecastSummary>
+runForecastGrid(const Experiment &experiment,
+                const std::vector<StudyEntry> &entries,
+                const forecast::ForecastConfig &fc,
+                unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = experiment.config().jobs;
+    return runGrid(
+        entries.size(),
+        [&](std::size_t i) {
+            return experiment.runForecast(entries[i].llc,
+                                          entries[i].label, fc);
+        },
+        jobs);
+}
+
+std::vector<PhaseSummary>
+runPhaseGrid(const Experiment &experiment,
+             const std::vector<PhaseCell> &cells,
+             unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = experiment.config().jobs;
+    return runGrid(
+        cells.size(),
+        [&](std::size_t i) {
+            const PhaseCell &cell = cells[i];
+            return experiment.runPhase(
+                cell.llc, cell.label, cell.capacity,
+                cell.mix == allMixes ? std::vector<const replay::LlcTrace *>{}
+                                     : experiment.tracePtr(cell.mix));
+        },
+        jobs);
+}
+
+} // namespace hllc::sim

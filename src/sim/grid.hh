@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Parallel experiment grids.
+ *
+ * The paper's evaluation is an embarrassingly parallel policy×mix grid:
+ * every bench driver forecasts or replays a handful of independent LLC
+ * configurations over the captured mixes. runGrid() runs such a grid on
+ * a fixed-size thread pool while keeping the results — and therefore
+ * every stats dump — byte-identical to the serial run:
+ *
+ *  - cells are dispatched in index order and collected into a pre-sized
+ *    vector, so output ordering never depends on completion order;
+ *  - any cell randomness is derived with childStream(seed, mix, policy)
+ *    (see common/rng.hh), never from thread id or submission order;
+ *  - jobs == 1 runs the cells inline (the serial reference path).
+ *
+ * The jobs knob resolves, in order: explicit argument > --jobs N on the
+ * command line > HLLC_JOBS environment variable > hardware_concurrency.
+ */
+
+#ifndef HLLC_SIM_GRID_HH
+#define HLLC_SIM_GRID_HH
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "sim/experiment.hh"
+
+namespace hllc::sim
+{
+
+/** Resolve a jobs knob: 0 means "auto" (HLLC_JOBS, else hardware). */
+unsigned resolveJobs(unsigned jobs);
+
+/**
+ * Scan a bench/tool command line for `--jobs N` (or `-j N`); returns 0
+ * (auto) when absent, fatal() on a malformed value.
+ */
+unsigned parseJobsArg(int argc, char **argv);
+
+/**
+ * Evaluate @p cell(0) .. @p cell(cells - 1) on @p jobs workers and
+ * return the results in cell-index order. The cell callable must not
+ * depend on shared mutable state; randomness must be keyed on the cell
+ * index (childStream), so the returned vector is identical for any
+ * jobs value.
+ */
+template <typename Fn>
+auto
+runGrid(std::size_t cells, Fn &&cell, unsigned jobs = 0)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    using Result = std::invoke_result_t<Fn &, std::size_t>;
+    std::vector<Result> results(cells);
+    parallelFor(resolveJobs(jobs), cells,
+                [&](std::size_t i) { results[i] = cell(i); });
+    return results;
+}
+
+/** Sentinel mix index: replay all captured mixes in a phase cell. */
+inline constexpr std::size_t allMixes = static_cast<std::size_t>(-1);
+
+/** One cell of a policy×mix (or policy×capacity) replay-phase grid. */
+struct PhaseCell
+{
+    std::string label;
+    hybrid::HybridLlcConfig llc;
+    double capacity = 1.0;        //!< NVM effective capacity in (0, 1]
+    std::size_t mix = allMixes;   //!< one mix index, or all mixes
+};
+
+/**
+ * Forecast every entry of @p entries (each over all captured mixes) in
+ * parallel; results are in entry order, identical to calling
+ * Experiment::runForecast serially.
+ */
+std::vector<ForecastSummary>
+runForecastGrid(const Experiment &experiment,
+                const std::vector<StudyEntry> &entries,
+                const forecast::ForecastConfig &fc = {},
+                unsigned jobs = 0);
+
+/**
+ * Replay every phase cell of @p cells in parallel; results are in cell
+ * order, identical to calling Experiment::runPhase serially.
+ */
+std::vector<PhaseSummary>
+runPhaseGrid(const Experiment &experiment,
+             const std::vector<PhaseCell> &cells,
+             unsigned jobs = 0);
+
+} // namespace hllc::sim
+
+#endif // HLLC_SIM_GRID_HH

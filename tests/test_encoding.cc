@@ -1,11 +1,16 @@
 /**
  * @file
  * Tests of the modified-BDI encoding table (paper Table I): sizes,
- * classification boundaries and the CPth candidate set.
+ * classification boundaries, the CPth candidate set, and boundary-value
+ * coverage of the BDI sign-extension/delta-fit edge cases.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
+#include "compression/bdi.hh"
 #include "compression/encoding.hh"
 
 namespace
@@ -92,6 +97,127 @@ TEST(Encoding, EverySizeWithinFrame)
         EXPECT_GE(info.ecbBytes, 2u) << std::string(info.name);
         EXPECT_LE(info.ecbBytes, 64u) << std::string(info.name);
     }
+}
+
+// ---------------------------------------------------------------------
+// Boundary-value audit of the BDI sign-extension / delta-fit edge cases
+// (bdi.cc signExtend/fitsSigned): deltas exactly at +-2^(8d-1), bases at
+// the k-byte lower bound (INT64_MIN for k == 8), and the deliberate
+// k == 8 wrap-around semantics of the 64-bit subtractor.
+// ---------------------------------------------------------------------
+
+/** Base at slot 0, base + delta (mod 2^(8k)) in every other slot. */
+BlockData
+baseDeltaBlock(unsigned k, std::uint64_t base, std::uint64_t delta)
+{
+    BlockData data{};
+    const std::uint64_t mask =
+        k >= 8 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (8 * k)) - 1);
+    for (unsigned i = 0; i < blockBytes / k; ++i) {
+        const std::uint64_t v =
+            (i == 0 ? base : base + delta) & mask;
+        std::memcpy(data.data() + static_cast<std::size_t>(i) * k, &v, k);
+    }
+    return data;
+}
+
+TEST(BdiBoundary, DeltaBoundsExhaustive)
+{
+    // For every base-delta CE: -2^(8d-1) and 2^(8d-1)-1 are the extreme
+    // representable deltas (asymmetric two's-complement bounds);
+    // +2^(8d-1) and -2^(8d-1)-1 must be rejected.
+    for (const CeInfo &info : ceTable()) {
+        if (info.deltaBytes == 0) // Zeros/Rep8/Uncompressed: no deltas
+            continue;
+        const unsigned d = info.deltaBytes;
+        const std::uint64_t bound = std::uint64_t{1} << (8 * d - 1);
+        // A mid-range base so k < 8 arithmetic never wraps at width k.
+        const std::uint64_t base = bound + 1;
+
+        EXPECT_TRUE(BdiCompressor::applicable(
+            baseDeltaBlock(info.baseBytes, base, bound - 1), info.ce))
+            << std::string(info.name) << " +max";
+        EXPECT_TRUE(BdiCompressor::applicable(
+            baseDeltaBlock(info.baseBytes, base, -bound), info.ce))
+            << std::string(info.name) << " -min";
+        EXPECT_FALSE(BdiCompressor::applicable(
+            baseDeltaBlock(info.baseBytes, base, bound), info.ce))
+            << std::string(info.name) << " +max+1";
+        EXPECT_FALSE(BdiCompressor::applicable(
+            baseDeltaBlock(info.baseBytes, base, -bound - 1), info.ce))
+            << std::string(info.name) << " -min-1";
+    }
+}
+
+TEST(BdiBoundary, RoundTripAtDeltaBounds)
+{
+    // Both extreme representable deltas must encode/decode bit-exactly
+    // (the lower bound exercises signExtend's 0x80..00 payload).
+    for (const CeInfo &info : ceTable()) {
+        if (info.deltaBytes == 0) // Zeros/Rep8/Uncompressed: no deltas
+            continue;
+        const unsigned d = info.deltaBytes;
+        const std::uint64_t bound = std::uint64_t{1} << (8 * d - 1);
+        const std::uint64_t base = bound + 1;
+        for (const std::uint64_t delta : { bound - 1, 0 - bound }) {
+            const BlockData data =
+                baseDeltaBlock(info.baseBytes, base, delta);
+            ASSERT_TRUE(BdiCompressor::applicable(data, info.ce));
+            const auto ecb = BdiCompressor::encode(data, info.ce);
+            ASSERT_EQ(ecb.size(), info.ecbBytes);
+            EXPECT_EQ(BdiCompressor::decode(info.ce, ecb), data)
+                << std::string(info.name);
+        }
+    }
+}
+
+TEST(BdiBoundary, Int64MinBaseWrapsAtFullWidth)
+{
+    // k == 8: the 64-bit subtractor wraps, so INT64_MIN base with
+    // INT64_MAX values is delta -1 and B8D1-compressible...
+    const auto min64 =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::min());
+    const BlockData wrap = baseDeltaBlock(8, min64, ~std::uint64_t{0});
+    EXPECT_TRUE(BdiCompressor::applicable(wrap, Ce::B8D1));
+    const auto ecb = BdiCompressor::encode(wrap, Ce::B8D1);
+    EXPECT_EQ(BdiCompressor::decode(Ce::B8D1, ecb), wrap);
+
+    // ...while INT64_MIN base with value 0 (delta +2^63, wrapping to
+    // INT64_MIN) exceeds every d < 8 bound and must stay uncompressed
+    // by the base-delta CEs.
+    const BlockData far = baseDeltaBlock(8, min64, min64);
+    for (const CeInfo &info : ceTable()) {
+        if (info.baseBytes == 8)
+            EXPECT_FALSE(BdiCompressor::applicable(far, info.ce))
+                << std::string(info.name);
+    }
+}
+
+TEST(BdiBoundary, NoWrapAroundBelowFullWidth)
+{
+    // k < 8 deltas are arithmetic (no mod-2^(8k) wrap): the k-byte
+    // analogue of the INT64_MIN/INT64_MAX pair does not fit, even
+    // though the stored low bytes alone would round-trip.
+    for (const unsigned k : { 2u, 4u }) {
+        const std::uint64_t min_k = std::uint64_t{1} << (8 * k - 1);
+        const BlockData data =
+            baseDeltaBlock(k, min_k, (std::uint64_t{1} << (8 * k)) - 1);
+        for (const CeInfo &info : ceTable()) {
+            if (info.baseBytes == k)
+                EXPECT_FALSE(BdiCompressor::applicable(data, info.ce))
+                    << std::string(info.name);
+        }
+    }
+}
+
+TEST(BdiBoundary, CompressPicksSmallestEcbAtBoundary)
+{
+    // A delta of exactly 2^7 - 1 fits d = 1; 2^7 needs d = 2: the
+    // priority tree must step to the next ECB size, never misclassify.
+    const BlockData fits_d1 = baseDeltaBlock(8, 1000, 127);
+    const BlockData needs_d2 = baseDeltaBlock(8, 1000, 128);
+    EXPECT_EQ(BdiCompressor::compress(fits_d1).ce, Ce::B8D1);
+    EXPECT_EQ(BdiCompressor::compress(needs_d2).ce, Ce::B8D2);
 }
 
 } // namespace

@@ -170,4 +170,43 @@ TEST(SetDueling, WinnerHistoryRecordsEpochs)
               (std::vector<unsigned>{ 44, 58 }));
 }
 
+TEST(SetDueling, NonMultipleOf32SetCountKeepsGroupsEqual)
+{
+    // 150 = 4 * 32 + 22 sets: the 22 trailing sets used to stripe onto
+    // slots 0..21, handing candidates 0..3 a fifth leader set each and
+    // biasing the hit race toward small CPth values. They must all be
+    // followers so every candidate keeps exactly 4 leader sets.
+    const SetDueling sd(150, kCandidates, 1000, 0.0, 5.0);
+
+    std::vector<unsigned> leaders(kCandidates.size(), 0);
+    for (std::uint32_t set = 0; set < 150; ++set) {
+        const int group = sd.leaderGroup(set);
+        if (group >= 0)
+            ++leaders[static_cast<std::size_t>(group)];
+    }
+    for (std::size_t c = 0; c < kCandidates.size(); ++c)
+        EXPECT_EQ(leaders[c], 4u) << "candidate " << kCandidates[c];
+
+    // The full stripes still duel; the partial stripe follows.
+    EXPECT_EQ(sd.leaderGroup(96), 0);   // last full stripe
+    EXPECT_EQ(sd.leaderGroup(99), 3);
+    EXPECT_EQ(sd.leaderGroup(128), -1); // trailing partial stripe
+    EXPECT_EQ(sd.leaderGroup(149), -1);
+    EXPECT_EQ(sd.cpthForSet(149), sd.winner());
+}
+
+TEST(SetDueling, TrailingSetHitsDoNotBiasTheRace)
+{
+    // Hits in the partial stripe must not accumulate for any candidate:
+    // set 128 would stripe onto slot 0 (candidate 30) under the buggy
+    // mod-32 assignment and steal the epoch here.
+    SetDueling sd(150, kCandidates, 1000, 0.0, 5.0);
+    for (int i = 0; i < 100; ++i)
+        sd.recordHit(128);
+    sd.recordNvmBytes(131, 4096); // likewise ignored (would-be slot 3)
+    sd.recordHit(1);              // one real leader hit: candidate 44
+    sd.tick(1000);
+    EXPECT_EQ(sd.winner(), 44u);
+}
+
 } // namespace

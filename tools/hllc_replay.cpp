@@ -1,20 +1,25 @@
 /**
  * @file
- * hllc_replay: replay a captured .hlt trace against a chosen LLC
- * insertion policy and print hit rate, NVM write traffic, IPC and the
+ * hllc_replay: replay a captured .hlt trace against one or more LLC
+ * insertion policies and print hit rate, NVM write traffic, IPC and the
  * LLC's full statistics.
  *
- * Usage: hllc_replay <trace.hlt> [policy] [cpth]
+ * Usage: hllc_replay <trace.hlt> [policy[,policy...]] [cpth] [--jobs N]
+ *
+ * Several comma-separated policies form a grid replayed in parallel
+ * (sim::runGrid); results print in the order given on the command line
+ * and are byte-identical for every --jobs value.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "forecast/forecast.hh"
-#include "sim/config.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using hybrid::PolicyKind;
@@ -23,7 +28,7 @@ namespace
 {
 
 PolicyKind
-parsePolicy(const char *name)
+parsePolicy(const std::string &name)
 {
     static const std::pair<const char *, PolicyKind> table[] = {
         { "BH", PolicyKind::Bh },           { "BH_CP", PolicyKind::BhCp },
@@ -33,11 +38,32 @@ parsePolicy(const char *name)
         { "SRAM", PolicyKind::SramOnly },
     };
     for (const auto &[label, kind] : table) {
-        if (std::strcmp(name, label) == 0)
+        if (name == label)
             return kind;
     }
-    fatal("unknown policy '%s'", name);
+    fatal("unknown policy '%s'", name.c_str());
 }
+
+std::vector<PolicyKind>
+parsePolicyList(const char *arg)
+{
+    std::vector<PolicyKind> policies;
+    std::stringstream stream(arg);
+    std::string token;
+    while (std::getline(stream, token, ','))
+        policies.push_back(parsePolicy(token));
+    if (policies.empty())
+        fatal("empty policy list '%s'", arg);
+    return policies;
+}
+
+/** Everything one grid cell reports, pre-formatted off-thread. */
+struct ReplayResult
+{
+    std::string policyName;
+    forecast::PhaseAggregate aggregate;
+    std::string statsDump;
+};
 
 } // namespace
 
@@ -45,46 +71,69 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <trace.hlt> [policy] [cpth]\n",
+        std::fprintf(stderr,
+                     "usage: %s <trace.hlt> [policy[,policy...]] [cpth] "
+                     "[--jobs N]\n",
                      argv[0]);
         return 2;
     }
+    const unsigned jobs = sim::parseJobsArg(argc, argv);
     const replay::LlcTrace trace = replay::LlcTrace::load(argv[1]);
-    const PolicyKind policy =
-        argc > 2 ? parsePolicy(argv[2]) : PolicyKind::CpSd;
+    const std::vector<PolicyKind> policies =
+        argc > 2 && argv[2][0] != '-' ? parsePolicyList(argv[2])
+                                      : std::vector<PolicyKind>{
+                                            PolicyKind::CpSd };
 
     const sim::SystemConfig config = sim::SystemConfig::tableIV();
     hybrid::PolicyParams params;
-    if (argc > 3)
+    if (argc > 3 && argv[3][0] != '-')
         params.fixedCpth = static_cast<unsigned>(std::atoi(argv[3]));
-    const auto llc_config = policy == PolicyKind::SramOnly
-        ? config.llcConfigSramBound(config.sramWays + config.nvmWays)
-        : config.llcConfig(policy, params);
 
-    std::unique_ptr<fault::EnduranceModel> endurance;
-    std::unique_ptr<fault::FaultMap> map;
-    if (llc_config.nvmWays > 0) {
-        endurance = std::make_unique<fault::EnduranceModel>(
-            config.nvmGeometry(), config.endurance,
-            Xoshiro256StarStar(config.seed));
-        map = std::make_unique<fault::FaultMap>(
-            *endurance, hybrid::InsertionPolicy::create(
-                            llc_config.policy, llc_config.params)
-                            ->granularity());
-    }
-    hybrid::HybridLlc llc(llc_config, map.get());
+    const auto results = sim::runGrid(
+        policies.size(),
+        [&](std::size_t i) {
+            const PolicyKind policy = policies[i];
+            const auto llc_config = policy == PolicyKind::SramOnly
+                ? config.llcConfigSramBound(config.sramWays +
+                                            config.nvmWays)
+                : config.llcConfig(policy, params);
 
-    const auto agg = forecast::replayAllTraces(
-        { &trace }, llc, config.timing, 0.2);
+            std::unique_ptr<fault::EnduranceModel> endurance;
+            std::unique_ptr<fault::FaultMap> map;
+            if (llc_config.nvmWays > 0) {
+                // Same fabric for every policy cell (fair comparison):
+                // keyed on the master seed only.
+                endurance = std::make_unique<fault::EnduranceModel>(
+                    config.nvmGeometry(), config.endurance,
+                    Xoshiro256StarStar(config.seed));
+                map = std::make_unique<fault::FaultMap>(
+                    *endurance, hybrid::InsertionPolicy::create(
+                                    llc_config.policy, llc_config.params)
+                                    ->granularity());
+            }
+            hybrid::HybridLlc llc(llc_config, map.get());
+
+            ReplayResult result;
+            result.aggregate = forecast::replayAllTraces(
+                { &trace }, llc, config.timing, 0.2);
+            result.policyName = std::string(llc.policy().name());
+            std::ostringstream stats;
+            llc.stats().dump(stats);
+            result.statsDump = stats.str();
+            return result;
+        },
+        jobs);
 
     std::printf("trace %s (%s): %zu events\n", argv[1],
                 trace.meta().mixName.c_str(), trace.size());
-    std::printf("policy %s | hit rate %.4f | NVM bytes %llu | "
-                "mean IPC %.4f\n",
-                std::string(llc.policy().name()).c_str(), agg.hitRate,
-                static_cast<unsigned long long>(agg.nvmBytesWritten),
-                agg.meanIpc);
-    std::printf("\nLLC statistics:\n");
-    llc.stats().dump(std::cout);
+    for (const auto &result : results) {
+        std::printf("policy %s | hit rate %.4f | NVM bytes %llu | "
+                    "mean IPC %.4f\n",
+                    result.policyName.c_str(), result.aggregate.hitRate,
+                    static_cast<unsigned long long>(
+                        result.aggregate.nvmBytesWritten),
+                    result.aggregate.meanIpc);
+        std::printf("\nLLC statistics:\n%s", result.statsDump.c_str());
+    }
     return 0;
 }
