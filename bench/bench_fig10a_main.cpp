@@ -50,6 +50,6 @@ main(int argc, char **argv)
         { "CP_SD_Th4", config.llcConfig(PolicyKind::CpSdTh, th4) },
         { "CP_SD_Th8", config.llcConfig(PolicyKind::CpSdTh, th8) },
     };
-    sim::runAndPrintForecastStudy(experiment, entries);
-    return 0;
+    return sim::runAndPrintForecastStudy(
+        experiment, entries, {}, sim::parseCheckpointArgs(argc, argv));
 }

@@ -11,16 +11,17 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using hybrid::PolicyKind;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
     sim::SystemConfig config = sim::SystemConfig::tableIV();
+    config.jobs = sim::parseJobsArg(argc, argv);
     config.endurance.cv = 0.25;
     sim::printConfigHeader(config,
                            "Figure 10c: endurance cv = 0.25 sensitivity");
@@ -39,6 +40,6 @@ main()
         { "CP_SD_Th4", config.llcConfig(PolicyKind::CpSdTh, th4) },
         { "CP_SD_Th8", config.llcConfig(PolicyKind::CpSdTh, th8) },
     };
-    sim::runAndPrintForecastStudy(experiment, entries);
-    return 0;
+    return sim::runAndPrintForecastStudy(
+        experiment, entries, {}, sim::parseCheckpointArgs(argc, argv));
 }

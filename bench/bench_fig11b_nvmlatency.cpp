@@ -11,16 +11,17 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using hybrid::PolicyKind;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
     sim::SystemConfig config = sim::SystemConfig::tableIV();
+    config.jobs = sim::parseJobsArg(argc, argv);
     // Data-array read 8 -> 12 cycles: load-use 32 -> 36 (+2 decomp).
     config.timing.llcNvmLoadUse = 38;
     sim::printConfigHeader(config,
@@ -40,6 +41,6 @@ main()
         { "CP_SD_Th4", config.llcConfig(PolicyKind::CpSdTh, th4) },
         { "CP_SD_Th8", config.llcConfig(PolicyKind::CpSdTh, th8) },
     };
-    sim::runAndPrintForecastStudy(experiment, entries);
-    return 0;
+    return sim::runAndPrintForecastStudy(
+        experiment, entries, {}, sim::parseCheckpointArgs(argc, argv));
 }

@@ -12,16 +12,17 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using hybrid::PolicyKind;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
-    const sim::SystemConfig config = sim::SystemConfig::tableIV();
+    sim::SystemConfig config = sim::SystemConfig::tableIV();
+    config.jobs = sim::parseJobsArg(argc, argv);
     sim::printConfigHeader(
         config, "Figure 11c: equal-storage comparison (fault-map "
                 "overhead)");
@@ -45,6 +46,6 @@ main()
                                 "w",
                             th });
     }
-    sim::runAndPrintForecastStudy(experiment, entries);
-    return 0;
+    return sim::runAndPrintForecastStudy(
+        experiment, entries, {}, sim::parseCheckpointArgs(argc, argv));
 }

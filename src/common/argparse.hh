@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal validated number parsing for the CLI tools and bench drivers.
+ *
+ * std::atoi silently turns "12abc" and "xyz" into usable-looking values
+ * (12 and 0); these helpers instead parse the whole token or return
+ * nothing, so the tools can reject malformed arguments with a usage
+ * message instead of running a subtly wrong experiment.
+ */
+
+#ifndef HLLC_COMMON_ARGPARSE_HH
+#define HLLC_COMMON_ARGPARSE_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+
+namespace hllc
+{
+
+/** Parse a full decimal token into [min, max]; nullopt on any junk. */
+inline std::optional<std::uint64_t>
+parseU64(const char *token, std::uint64_t min = 0,
+         std::uint64_t max = UINT64_MAX)
+{
+    if (token == nullptr || *token == '\0' || *token == '-')
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(token, &end, 10);
+    if (errno != 0 || end == token || *end != '\0')
+        return std::nullopt;
+    if (parsed < min || parsed > max)
+        return std::nullopt;
+    return static_cast<std::uint64_t>(parsed);
+}
+
+/** Parse a full decimal token into an unsigned within [min, max]. */
+inline std::optional<unsigned>
+parseUnsigned(const char *token, unsigned min = 0,
+              unsigned max = UINT32_MAX)
+{
+    const auto v = parseU64(token, min, max);
+    if (!v)
+        return std::nullopt;
+    return static_cast<unsigned>(*v);
+}
+
+/** Parse a full floating-point token; nullopt on junk or non-finite. */
+inline std::optional<double>
+parseDouble(const char *token)
+{
+    if (token == nullptr || *token == '\0')
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(token, &end);
+    if (errno != 0 || end == token || *end != '\0')
+        return std::nullopt;
+    return parsed;
+}
+
+} // namespace hllc
+
+#endif // HLLC_COMMON_ARGPARSE_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Typed error hierarchy for recoverable library failures.
+ *
+ * Library code (trace I/O, checkpoint containers) must never kill the
+ * process: a grid running hundreds of forecast cells has to survive one
+ * bad file. I/O and corruption problems therefore surface as IoError,
+ * which callers either handle (a grid cell degrades to "failed", a
+ * resume path falls back to a fresh start) or convert to fatal() at the
+ * CLI boundary. fatal() itself remains reserved for the tool mains.
+ */
+
+#ifndef HLLC_COMMON_ERROR_HH
+#define HLLC_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace hllc
+{
+
+/**
+ * A file could not be opened, read, written, or failed validation
+ * (bad magic, impossible lengths, CRC mismatch, truncation).
+ */
+class IoError : public std::runtime_error
+{
+  public:
+    explicit IoError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
+} // namespace hllc
+
+#endif // HLLC_COMMON_ERROR_HH

@@ -1,0 +1,71 @@
+#include "common/interrupt.hh"
+
+#include <atomic>
+#include <csignal>
+
+namespace hllc
+{
+
+namespace
+{
+
+std::atomic<int> pendingSignal{ 0 };
+std::atomic<bool> handlersInstalled{ false };
+
+extern "C" void
+interruptFlagHandler(int sig)
+{
+    pendingSignal.store(sig, std::memory_order_relaxed);
+    // One polite request only: restore the default disposition so a
+    // second signal terminates even if the run never reaches a
+    // checkpoint boundary.
+    std::signal(sig, SIG_DFL);
+}
+
+} // anonymous namespace
+
+void
+installInterruptHandlers()
+{
+    bool expected = false;
+    if (!handlersInstalled.compare_exchange_strong(expected, true))
+        return;
+    std::signal(SIGINT, interruptFlagHandler);
+    std::signal(SIGTERM, interruptFlagHandler);
+}
+
+bool
+interruptRequested()
+{
+    return pendingSignal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+interruptSignal()
+{
+    return pendingSignal.load(std::memory_order_relaxed);
+}
+
+int
+interruptExitCode()
+{
+    const int sig = interruptSignal();
+    return sig == 0 ? 0 : 128 + sig;
+}
+
+void
+requestInterrupt(int signal_number)
+{
+    pendingSignal.store(signal_number, std::memory_order_relaxed);
+}
+
+void
+clearInterrupt()
+{
+    pendingSignal.store(0, std::memory_order_relaxed);
+    // Allow a later checkpointed run to reinstall fresh handlers (the
+    // flag handler resets itself to SIG_DFL after firing).
+    handlersInstalled.store(false, std::memory_order_relaxed);
+}
+
+} // namespace hllc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling for long-running grids.
+ *
+ * A checkpointing run must not die mid-write when the user (or the
+ * batch scheduler) asks it to stop: installInterruptHandlers() turns the
+ * first SIGINT/SIGTERM into a flag that long loops poll at safe
+ * boundaries, where they write a final checkpoint and unwind with
+ * InterruptedError. A second signal falls through to the default
+ * disposition, so a hung run can still be killed.
+ */
+
+#ifndef HLLC_COMMON_INTERRUPT_HH
+#define HLLC_COMMON_INTERRUPT_HH
+
+#include <stdexcept>
+
+namespace hllc
+{
+
+/**
+ * Install the SIGINT/SIGTERM flag handlers (idempotent). Call before
+ * starting a checkpointed run.
+ */
+void installInterruptHandlers();
+
+/** Whether an interrupt (signal or requestInterrupt()) is pending. */
+bool interruptRequested();
+
+/** The signal number that set the flag (0 when none; tests may fake). */
+int interruptSignal();
+
+/**
+ * Conventional exit code for the pending interrupt (128 + signal), or
+ * 0 when no interrupt is pending.
+ */
+int interruptExitCode();
+
+/** Set the flag programmatically (tests, embedding applications). */
+void requestInterrupt(int signal_number);
+
+/** Clear the flag (tests; a fresh run after handling a stop). */
+void clearInterrupt();
+
+/**
+ * Thrown by checkpoint-aware loops after they persisted their state in
+ * response to a pending interrupt. Carries no data: the checkpoint on
+ * disk is the result.
+ */
+class InterruptedError : public std::runtime_error
+{
+  public:
+    InterruptedError() : std::runtime_error("interrupted") {}
+};
+
+} // namespace hllc
+
+#endif // HLLC_COMMON_INTERRUPT_HH

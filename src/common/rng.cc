@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hllc
 {
@@ -122,6 +123,24 @@ Xoshiro256StarStar
 Xoshiro256StarStar::fork(std::uint64_t salt)
 {
     return Xoshiro256StarStar(mix64(next() ^ mix64(salt)));
+}
+
+void
+Xoshiro256StarStar::snapshot(serial::Encoder &enc) const
+{
+    for (const std::uint64_t s : s_)
+        enc.u64(s);
+    enc.f64(spareGaussian_);
+    enc.u8(hasSpare_ ? 1 : 0);
+}
+
+void
+Xoshiro256StarStar::restore(serial::Decoder &dec)
+{
+    for (std::uint64_t &s : s_)
+        s = dec.u64();
+    spareGaussian_ = dec.f64();
+    hasSpare_ = dec.u8() != 0;
 }
 
 Xoshiro256StarStar

@@ -18,6 +18,12 @@
 namespace hllc
 {
 
+namespace serial
+{
+class Encoder;
+class Decoder;
+} // namespace serial
+
 /**
  * xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded through
  * SplitMix64 so any 64-bit seed (including 0) yields a good state.
@@ -59,6 +65,15 @@ class Xoshiro256StarStar
      * salts never collide.
      */
     Xoshiro256StarStar fork(std::uint64_t salt);
+
+    /**
+     * Serialise the full generator state (including the cached spare
+     * Gaussian), so a restored stream continues bit-identically.
+     */
+    void snapshot(serial::Encoder &enc) const;
+
+    /** Restore state written by snapshot(); throws IoError on junk. */
+    void restore(serial::Decoder &dec);
 
   private:
     std::uint64_t s_[4];

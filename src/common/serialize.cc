@@ -1,0 +1,396 @@
+#include "common/serialize.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include <unistd.h>
+
+namespace hllc::serial
+{
+
+namespace
+{
+
+/** Container layout version (the "format version" header field). */
+constexpr std::uint32_t containerFormatVersion = 1;
+/** Sanity caps on header-declared counts (far above any real use). */
+constexpr std::uint32_t maxChunks = 1024;
+constexpr std::size_t maxTagLen = 32;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+std::string
+errnoMessage()
+{
+    return std::strerror(errno);
+}
+
+} // anonymous namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t crc)
+{
+    // Table generated once from the reflected polynomial 0xEDB88320.
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+// ---------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------
+
+void
+Encoder::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+Encoder::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+Encoder::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+Encoder::raw(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    out_.insert(out_.end(), p, p + size);
+}
+
+void
+Encoder::str(const std::string &s)
+{
+    u64(s.size());
+    raw(s.data(), s.size());
+}
+
+void
+Encoder::f64Vec(const std::vector<double> &v)
+{
+    u64(v.size());
+    for (const double d : v)
+        f64(d);
+}
+
+void
+Encoder::u64Vec(const std::vector<std::uint64_t> &v)
+{
+    u64(v.size());
+    for (const std::uint64_t x : v)
+        u64(x);
+}
+
+// ---------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------
+
+void
+Decoder::require(std::size_t n) const
+{
+    if (n > size_ - pos_)
+        throw IoError("truncated record: need " + std::to_string(n) +
+                      " bytes, " + std::to_string(size_ - pos_) +
+                      " available");
+}
+
+std::uint8_t
+Decoder::u8()
+{
+    require(1);
+    return data_[pos_++];
+}
+
+std::uint32_t
+Decoder::u32()
+{
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+Decoder::u64()
+{
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+double
+Decoder::f64()
+{
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+void
+Decoder::raw(void *data, std::size_t size)
+{
+    require(size);
+    std::memcpy(data, data_ + pos_, size);
+    pos_ += size;
+}
+
+std::string
+Decoder::str(std::size_t max_len)
+{
+    const std::uint64_t len = u64();
+    if (len > max_len)
+        throw IoError("string length " + std::to_string(len) +
+                      " exceeds limit " + std::to_string(max_len));
+    require(static_cast<std::size_t>(len));
+    std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+}
+
+std::vector<double>
+Decoder::f64Vec()
+{
+    const std::uint64_t count = u64();
+    // Validate the declared count against the bytes actually present
+    // before allocating anything.
+    if (count > remaining() / 8)
+        throw IoError("vector count " + std::to_string(count) +
+                      " exceeds the bytes available");
+    std::vector<double> v;
+    v.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i)
+        v.push_back(f64());
+    return v;
+}
+
+std::vector<std::uint64_t>
+Decoder::u64Vec()
+{
+    const std::uint64_t count = u64();
+    if (count > remaining() / 8)
+        throw IoError("vector count " + std::to_string(count) +
+                      " exceeds the bytes available");
+    std::vector<std::uint64_t> v;
+    v.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i)
+        v.push_back(u64());
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Container
+// ---------------------------------------------------------------------
+
+Encoder &
+Container::add(const std::string &tag)
+{
+    if (tag.empty() || tag.size() > maxTagLen)
+        throw IoError("bad chunk tag '" + tag + "'");
+    chunks_.push_back(Chunk{ tag, Encoder{} });
+    return chunks_.back().payload;
+}
+
+bool
+Container::has(const std::string &tag) const
+{
+    for (const Chunk &c : chunks_) {
+        if (c.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+Decoder
+Container::open(const std::string &tag) const
+{
+    for (const Chunk &c : chunks_) {
+        if (c.tag == tag)
+            return Decoder(c.payload.bytes());
+    }
+    throw IoError("missing chunk '" + tag + "'");
+}
+
+std::vector<std::uint8_t>
+Container::encode(std::uint32_t magic, std::uint32_t payload_version) const
+{
+    Encoder enc;
+    enc.u32(magic);
+    enc.u32(containerFormatVersion);
+    enc.u32(payload_version);
+    enc.u32(static_cast<std::uint32_t>(chunks_.size()));
+    for (const Chunk &c : chunks_) {
+        enc.u8(static_cast<std::uint8_t>(c.tag.size()));
+        enc.raw(c.tag.data(), c.tag.size());
+        enc.u64(c.payload.bytes().size());
+        enc.raw(c.payload.bytes().data(), c.payload.bytes().size());
+    }
+    enc.u32(crc32(enc.bytes().data(), enc.bytes().size()));
+    return std::move(enc.bytes());
+}
+
+Container
+Container::decode(const std::uint8_t *data, std::size_t size,
+                  std::uint32_t magic, std::uint32_t min_version,
+                  std::uint32_t max_version, std::uint32_t *version_out)
+{
+    // Header (16) + CRC trailer (4) is the smallest legal container.
+    if (size < 20)
+        throw IoError("container too small (" + std::to_string(size) +
+                      " bytes)");
+
+    // The trailer is little-endian like every other field.
+    Decoder trailer(data + size - 4, 4);
+    const std::uint32_t stored_crc = trailer.u32();
+    const std::uint32_t actual_crc = crc32(data, size - 4);
+    if (stored_crc != actual_crc)
+        throw IoError("container CRC mismatch");
+
+    Decoder dec(data, size - 4);
+    if (dec.u32() != magic)
+        throw IoError("bad container magic");
+    const std::uint32_t format = dec.u32();
+    if (format != containerFormatVersion)
+        throw IoError("unsupported container format version " +
+                      std::to_string(format));
+    const std::uint32_t payload_version = dec.u32();
+    if (payload_version < min_version || payload_version > max_version)
+        throw IoError("unsupported payload version " +
+                      std::to_string(payload_version));
+    const std::uint32_t count = dec.u32();
+    if (count > maxChunks)
+        throw IoError("implausible chunk count " + std::to_string(count));
+
+    Container container;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint8_t tag_len = dec.u8();
+        if (tag_len == 0 || tag_len > maxTagLen)
+            throw IoError("bad chunk tag length");
+        std::string tag(tag_len, '\0');
+        dec.raw(tag.data(), tag_len);
+        const std::uint64_t chunk_size = dec.u64();
+        if (chunk_size > dec.remaining())
+            throw IoError("chunk '" + tag + "' overruns the container");
+        Encoder &payload = container.add(tag);
+        payload.bytes().resize(static_cast<std::size_t>(chunk_size));
+        dec.raw(payload.bytes().data(),
+                static_cast<std::size_t>(chunk_size));
+    }
+    if (!dec.atEnd())
+        throw IoError("trailing bytes after the last chunk");
+    if (version_out != nullptr)
+        *version_out = payload_version;
+    return container;
+}
+
+void
+Container::save(const std::string &path, std::uint32_t magic,
+                std::uint32_t payload_version) const
+{
+    const std::vector<std::uint8_t> bytes = encode(magic, payload_version);
+    writeFileAtomic(path, bytes.data(), bytes.size());
+}
+
+Container
+Container::load(const std::string &path, std::uint32_t magic,
+                std::uint32_t min_version, std::uint32_t max_version,
+                std::uint32_t *version_out)
+{
+    const std::vector<std::uint8_t> bytes = readFileBytes(path);
+    try {
+        return decode(bytes.data(), bytes.size(), magic, min_version,
+                      max_version, version_out);
+    } catch (const IoError &e) {
+        throw IoError("'" + path + "': " + e.what());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-file I/O
+// ---------------------------------------------------------------------
+
+void
+writeFileAtomic(const std::string &path, const void *data,
+                std::size_t size)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        FilePtr f(std::fopen(tmp.c_str(), "wb"));
+        if (!f)
+            throw IoError("cannot open '" + tmp + "' for writing: " +
+                          errnoMessage());
+        if (size > 0 && std::fwrite(data, 1, size, f.get()) != size)
+            throw IoError("short write to '" + tmp + "'");
+        if (std::fflush(f.get()) != 0)
+            throw IoError("flush of '" + tmp + "' failed: " +
+                          errnoMessage());
+        // The data must be durable before the rename makes it visible,
+        // or a crash could leave a renamed-but-empty file.
+        if (::fsync(::fileno(f.get())) != 0)
+            throw IoError("fsync of '" + tmp + "' failed: " +
+                          errnoMessage());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw IoError("rename '" + tmp + "' -> '" + path + "' failed: " +
+                      errnoMessage());
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        throw IoError("cannot open '" + path + "': " + errnoMessage());
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        throw IoError("seek in '" + path + "' failed");
+    const long end = std::ftell(f.get());
+    if (end < 0)
+        throw IoError("cannot size '" + path + "'");
+    std::rewind(f.get());
+
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(end));
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), f.get()) !=
+            bytes.size()) {
+        throw IoError("short read from '" + path + "'");
+    }
+    return bytes;
+}
+
+} // namespace hllc::serial

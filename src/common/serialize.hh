@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Versioned, CRC32-checksummed chunked container with atomic
+ * persistence — the one binary on-disk format the simulator trusts.
+ *
+ * Both forecast checkpoints and v2 .hlt traces are containers:
+ *
+ *   u32 magic            (per format: "HLCK" checkpoints, "HLT2" traces)
+ *   u32 format version   (container layout; currently 1)
+ *   u32 payload version  (format-specific, range-checked by the reader)
+ *   u32 chunk count
+ *   per chunk: u8 tag length, tag bytes, u64 payload size, payload
+ *   u32 CRC32            (over every preceding byte)
+ *
+ * Readers validate every length against the bytes actually present
+ * before allocating, and verify the CRC before any chunk is exposed, so
+ * a truncated or bit-flipped file is rejected with an IoError — never a
+ * crash or an arbitrary-size allocation. Writers persist atomically:
+ * the container is written to "<path>.tmp", fsync()ed, then rename()d
+ * over the destination, so a crash mid-write leaves the previous good
+ * file (or no file) in place, never a torn one.
+ *
+ * Encoder/Decoder provide the primitive layer: little-endian-packed
+ * integers and IEEE-754 doubles round-trip bit-exactly, which is what
+ * makes checkpoint/resume byte-identical to an uninterrupted run.
+ */
+
+#ifndef HLLC_COMMON_SERIALIZE_HH
+#define HLLC_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace hllc::serial
+{
+
+/** CRC-32 (IEEE 802.3, reflected 0xEDB88320); @p crc chains calls. */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t crc = 0);
+
+/** Append-only byte buffer with primitive packing. */
+class Encoder
+{
+  public:
+    void u8(std::uint8_t v) { out_.push_back(v); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** Bit-exact IEEE-754 encoding (via the u64 bit pattern). */
+    void f64(double v);
+    void raw(const void *data, std::size_t size);
+    /** u64 length prefix + bytes. */
+    void str(const std::string &s);
+    /** u64 element-count prefix + bit-exact doubles. */
+    void f64Vec(const std::vector<double> &v);
+    /** u64 element-count prefix + u64 elements. */
+    void u64Vec(const std::vector<std::uint64_t> &v);
+
+    const std::vector<std::uint8_t> &bytes() const { return out_; }
+    std::vector<std::uint8_t> &bytes() { return out_; }
+
+  private:
+    std::vector<std::uint8_t> out_;
+};
+
+/**
+ * Bounds-checked cursor over a byte span (not owned). Every read that
+ * would run past the end throws IoError, so malformed inputs can never
+ * cause out-of-bounds reads or unbounded allocations.
+ */
+class Decoder
+{
+  public:
+    Decoder(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+    explicit Decoder(const std::vector<std::uint8_t> &bytes)
+        : Decoder(bytes.data(), bytes.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    void raw(void *data, std::size_t size);
+    /** Length-prefixed string; rejects lengths beyond @p max_len. */
+    std::string str(std::size_t max_len = 4096);
+    /** Count-prefixed doubles; count validated against bytes left. */
+    std::vector<double> f64Vec();
+    std::vector<std::uint64_t> u64Vec();
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    /** Throw IoError unless @p n more bytes are available. */
+    void require(std::size_t n) const;
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** One tagged chunk of a container. */
+struct Chunk
+{
+    std::string tag;
+    Encoder payload;
+};
+
+class Container
+{
+  public:
+    /** Start a new chunk; returns its payload encoder. Tags ≤ 32 B. */
+    Encoder &add(const std::string &tag);
+
+    bool has(const std::string &tag) const;
+    /**
+     * Decoder over @p tag's payload (valid while the container lives);
+     * throws IoError when the chunk is absent.
+     */
+    Decoder open(const std::string &tag) const;
+
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+    /** Serialise to bytes: header, chunks, CRC trailer. */
+    std::vector<std::uint8_t> encode(std::uint32_t magic,
+                                     std::uint32_t payload_version) const;
+
+    /**
+     * Parse and fully validate a container image. @p payload_version
+     * must fall in [min_version, max_version]; the accepted version is
+     * returned through @p version_out when non-null. Throws IoError on
+     * any structural problem or CRC mismatch.
+     */
+    static Container decode(const std::uint8_t *data, std::size_t size,
+                            std::uint32_t magic,
+                            std::uint32_t min_version,
+                            std::uint32_t max_version,
+                            std::uint32_t *version_out = nullptr);
+
+    /** encode() + atomic write (temp file, fsync, rename). */
+    void save(const std::string &path, std::uint32_t magic,
+              std::uint32_t payload_version) const;
+
+    /** Read @p path fully, then decode(). */
+    static Container load(const std::string &path, std::uint32_t magic,
+                          std::uint32_t min_version,
+                          std::uint32_t max_version,
+                          std::uint32_t *version_out = nullptr);
+
+  private:
+    std::vector<Chunk> chunks_;
+};
+
+/**
+ * Crash-safe whole-file write: the bytes land in "<path>.tmp", are
+ * fsync()ed, and replace @p path via rename(2). Throws IoError.
+ */
+void writeFileAtomic(const std::string &path, const void *data,
+                     std::size_t size);
+
+/** Read an entire file; throws IoError (missing file included). */
+std::vector<std::uint8_t> readFileBytes(const std::string &path);
+
+} // namespace hllc::serial
+
+#endif // HLLC_COMMON_SERIALIZE_HH

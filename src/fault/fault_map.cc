@@ -5,6 +5,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hllc::fault
 {
@@ -129,6 +130,61 @@ FaultMap::age(double scale)
         }
     }
     return newly_disabled;
+}
+
+void
+FaultMap::snapshot(serial::Encoder &enc) const
+{
+    enc.u32(geometry().numFrames());
+    enc.u32(geometry().frameBytes);
+    enc.u64Vec(liveMask_);
+    enc.f64Vec(writes_);
+    enc.f64Vec(pendingBytes_);
+    enc.f64Vec(pendingCount_);
+}
+
+void
+FaultMap::restore(serial::Decoder &dec)
+{
+    const std::uint32_t frames = dec.u32();
+    const std::uint32_t frame_bytes = dec.u32();
+    if (frames != geometry().numFrames() ||
+        frame_bytes != geometry().frameBytes) {
+        throw IoError("fault-map geometry mismatch: snapshot has " +
+                      std::to_string(frames) + "x" +
+                      std::to_string(frame_bytes) + ", map has " +
+                      std::to_string(geometry().numFrames()) + "x" +
+                      std::to_string(geometry().frameBytes));
+    }
+
+    std::vector<std::uint64_t> live_mask = dec.u64Vec();
+    std::vector<double> writes = dec.f64Vec();
+    std::vector<double> pending_bytes = dec.f64Vec();
+    std::vector<double> pending_count = dec.f64Vec();
+    if (live_mask.size() != frames ||
+        writes.size() != geometry().numBytes() ||
+        pending_bytes.size() != frames ||
+        pending_count.size() != frames) {
+        throw IoError("fault-map snapshot has inconsistent array sizes");
+    }
+
+    liveMask_ = std::move(live_mask);
+    writes_ = std::move(writes);
+    pendingBytes_ = std::move(pending_bytes);
+    pendingCount_ = std::move(pending_count);
+
+    // The derived aggregates are recomputed rather than trusted.
+    totalLive_ = 0;
+    deadFrames_ = 0;
+    liveCount_.resize(liveMask_.size());
+    for (std::size_t f = 0; f < liveMask_.size(); ++f) {
+        const auto live =
+            static_cast<std::uint8_t>(std::popcount(liveMask_[f]));
+        liveCount_[f] = live;
+        totalLive_ += live;
+        if (live == 0)
+            ++deadFrames_;
+    }
 }
 
 void

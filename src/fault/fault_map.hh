@@ -23,6 +23,12 @@
 
 #include "fault/endurance.hh"
 
+namespace hllc::serial
+{
+class Encoder;
+class Decoder;
+} // namespace hllc::serial
+
 namespace hllc::fault
 {
 
@@ -140,6 +146,21 @@ class FaultMap
     {
         return writes_[byteIndex(frame, byte)];
     }
+
+    /**
+     * Serialise the complete mutable state (live masks, cumulative and
+     * pending wear). The endurance model, granularity and distribution
+     * are configuration, re-derived by the owner on restore.
+     */
+    void snapshot(serial::Encoder &enc) const;
+
+    /**
+     * Restore state written by snapshot() into a map constructed over
+     * the same geometry; liveCount/totalLive/deadFrames are recomputed
+     * from the restored masks. Throws IoError on a geometry mismatch or
+     * malformed record, leaving the map unchanged.
+     */
+    void restore(serial::Decoder &dec);
 
   private:
     std::size_t

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hllc::fault
 {
@@ -12,6 +13,29 @@ WearLevelCounter::WearLevelCounter(Seconds period_seconds, unsigned modulo)
 {
     HLLC_ASSERT(period_seconds > 0.0);
     HLLC_ASSERT(modulo > 0);
+}
+
+void
+WearLevelCounter::snapshot(serial::Encoder &enc) const
+{
+    enc.u32(modulo_);
+    enc.u32(value_);
+    enc.f64(accumulated_);
+}
+
+void
+WearLevelCounter::restore(serial::Decoder &dec)
+{
+    const std::uint32_t modulo = dec.u32();
+    if (modulo != modulo_)
+        throw IoError("wear-level counter modulo mismatch: snapshot " +
+                      std::to_string(modulo) + ", counter " +
+                      std::to_string(modulo_));
+    const std::uint32_t value = dec.u32();
+    if (value >= modulo_)
+        throw IoError("wear-level counter value out of range");
+    value_ = value;
+    accumulated_ = dec.f64();
 }
 
 void

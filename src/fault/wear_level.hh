@@ -15,6 +15,12 @@
 
 #include "common/types.hh"
 
+namespace hllc::serial
+{
+class Encoder;
+class Decoder;
+} // namespace hllc::serial
+
 namespace hllc::fault
 {
 
@@ -42,6 +48,15 @@ class WearLevelCounter
     void elapse(Seconds seconds);
 
     Seconds period() const { return period_; }
+
+    /** Serialise rotation offset and sub-period remainder. */
+    void snapshot(serial::Encoder &enc) const;
+
+    /**
+     * Restore state written by snapshot(); throws IoError when the
+     * snapshot was taken with a different modulo.
+     */
+    void restore(serial::Decoder &dec);
 
   private:
     Seconds period_;

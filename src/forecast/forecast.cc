@@ -1,11 +1,23 @@
 #include "forecast/forecast.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "common/interrupt.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hllc::forecast
 {
+
+namespace
+{
+
+/** Checkpoint container identity ("HLCK"). */
+constexpr std::uint32_t checkpointMagic = 0x484c434b;
+constexpr std::uint32_t checkpointVersion = 1;
+
+} // anonymous namespace
 
 using hierarchy::CoreActivity;
 using hierarchy::coreCycles;
@@ -117,24 +129,174 @@ ForecastEngine::simulatePhase(hybrid::HybridLlc &llc,
     return point;
 }
 
+void
+ForecastEngine::saveCheckpoint(const std::string &path, std::size_t step,
+                               Seconds now,
+                               const std::vector<ForecastPoint> &series,
+                               const fault::FaultMap &map,
+                               const hybrid::HybridLlc &llc) const
+{
+    serial::Container container;
+
+    serial::Encoder &meta = container.add("meta");
+    meta.u32(llcConfig_.numSets);
+    meta.u32(llcConfig_.sramWays);
+    meta.u32(llcConfig_.nvmWays);
+    meta.u32(static_cast<std::uint32_t>(llcConfig_.policy));
+    meta.u64(step);
+    meta.f64(now);
+
+    serial::Encoder &seri = container.add("seri");
+    seri.u64(series.size());
+    for (const ForecastPoint &p : series) {
+        seri.f64(p.time);
+        seri.f64(p.capacity);
+        seri.f64(p.meanIpc);
+        seri.f64(p.hitRate);
+        seri.f64(p.nvmBytesPerSecond);
+    }
+
+    if (llcConfig_.nvmWays > 0)
+        map.snapshot(container.add("fmap"));
+    if (llc.dueling() != nullptr)
+        llc.dueling()->snapshot(container.add("duel"));
+
+    container.save(path, checkpointMagic, checkpointVersion);
+}
+
+std::size_t
+ForecastEngine::loadCheckpoint(const std::string &path,
+                               fault::FaultMap &map,
+                               hybrid::HybridLlc &llc,
+                               std::vector<ForecastPoint> &series,
+                               Seconds &now) const
+{
+    const serial::Container container = serial::Container::load(
+        path, checkpointMagic, checkpointVersion, checkpointVersion);
+
+    serial::Decoder meta = container.open("meta");
+    const std::uint32_t num_sets = meta.u32();
+    const std::uint32_t sram_ways = meta.u32();
+    const std::uint32_t nvm_ways = meta.u32();
+    const std::uint32_t policy = meta.u32();
+    if (num_sets != llcConfig_.numSets ||
+        sram_ways != llcConfig_.sramWays ||
+        nvm_ways != llcConfig_.nvmWays ||
+        policy != static_cast<std::uint32_t>(llcConfig_.policy)) {
+        throw IoError("checkpoint '" + path +
+                      "' was taken for a different LLC configuration");
+    }
+    const std::uint64_t step = meta.u64();
+    if (step > config_.maxSteps)
+        throw IoError("checkpoint step index out of range");
+    const Seconds saved_now = meta.f64();
+
+    serial::Decoder seri = container.open("seri");
+    const std::uint64_t count = seri.u64();
+    if (count > config_.maxSteps || count * 40 > seri.remaining())
+        throw IoError("checkpoint series count is implausible");
+    std::vector<ForecastPoint> restored;
+    restored.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ForecastPoint p;
+        p.time = seri.f64();
+        p.capacity = seri.f64();
+        p.meanIpc = seri.f64();
+        p.hitRate = seri.f64();
+        p.nvmBytesPerSecond = seri.f64();
+        restored.push_back(p);
+    }
+
+    // Mutations last: a throw above leaves the caller's state untouched,
+    // and the subsystem restores below validate before they mutate.
+    if (llcConfig_.nvmWays > 0) {
+        serial::Decoder fmap = container.open("fmap");
+        map.restore(fmap);
+    }
+    if (llc.dueling() != nullptr) {
+        serial::Decoder duel = container.open("duel");
+        llc.dueling()->restore(duel);
+    }
+    series = std::move(restored);
+    now = saved_now;
+    return static_cast<std::size_t>(step);
+}
+
 std::vector<ForecastPoint>
-ForecastEngine::run()
+ForecastEngine::run(const RunOptions &options)
 {
     const auto policy =
         hybrid::InsertionPolicy::create(llcConfig_.policy,
                                         llcConfig_.params);
-    fault::FaultMap map(endurance_, policy->granularity(),
-                        config_.wearDistribution);
-    hybrid::HybridLlc llc(llcConfig_,
-                          llcConfig_.nvmWays > 0 ? &map : nullptr);
+    const auto make_map = [&] {
+        return std::make_unique<fault::FaultMap>(
+            endurance_, policy->granularity(), config_.wearDistribution);
+    };
+    auto map = make_map();
+    auto llc = std::make_unique<hybrid::HybridLlc>(
+        llcConfig_, llcConfig_.nvmWays > 0 ? map.get() : nullptr);
 
     std::vector<ForecastPoint> series;
     Seconds now = 0.0;
+    std::size_t step0 = 0;
 
-    for (std::size_t step = 0; step < config_.maxSteps; ++step) {
-        map.discardPending();
+    const bool checkpointing = !options.checkpointPath.empty();
+    if (checkpointing && options.resume) {
+        try {
+            step0 = loadCheckpoint(options.checkpointPath, *map, *llc,
+                                   series, now);
+            debugLog("resumed '%s' at step %zu (t = %.3f months)",
+                     options.checkpointPath.c_str(), step0,
+                     now / secondsPerMonth);
+        } catch (const IoError &e) {
+            // A missing/corrupt/mismatched checkpoint must not kill the
+            // run — and must not leave half-restored state behind.
+            warn("cannot resume from '%s' (%s); restarting from scratch",
+                 options.checkpointPath.c_str(), e.what());
+            map = make_map();
+            llc = std::make_unique<hybrid::HybridLlc>(
+                llcConfig_, llcConfig_.nvmWays > 0 ? map.get() : nullptr);
+            series.clear();
+            now = 0.0;
+            step0 = 0;
+        }
+    }
+
+    const std::size_t every = std::max<std::size_t>(
+        options.checkpointEvery, 1);
+    std::size_t executed = 0;
+
+    for (std::size_t step = step0; step < config_.maxSteps; ++step) {
+        if (checkpointing && interruptRequested()) {
+            try {
+                saveCheckpoint(options.checkpointPath, step, now, series,
+                               *map, *llc);
+            } catch (const IoError &e) {
+                warn("final checkpoint '%s' failed: %s",
+                     options.checkpointPath.c_str(), e.what());
+            }
+            throw InterruptedError();
+        }
+        if (options.stopAfterSteps > 0 &&
+            executed >= options.stopAfterSteps) {
+            if (checkpointing) {
+                saveCheckpoint(options.checkpointPath, step, now, series,
+                               *map, *llc);
+            }
+            return series;
+        }
+        // A failing periodic save propagates: the user asked for crash
+        // safety this run cannot deliver, which is a cell failure, not
+        // a warning to scroll past.
+        if (checkpointing && step != step0 && (step - step0) % every == 0) {
+            saveCheckpoint(options.checkpointPath, step, now, series,
+                           *map, *llc);
+        }
+        ++executed;
+
+        map->discardPending();
         Seconds window_seconds = 0.0;
-        series.push_back(simulatePhase(llc, map, now, window_seconds));
+        series.push_back(simulatePhase(*llc, *map, now, window_seconds));
 
         const ForecastPoint &point = series.back();
         if (point.capacity <= config_.capacityFloor ||
@@ -144,12 +306,12 @@ ForecastEngine::run()
         }
 
         // Prediction phase: jump to the next interesting wear state.
-        Seconds delta = chooseAgingStep(map, endurance_, window_seconds,
+        Seconds delta = chooseAgingStep(*map, endurance_, window_seconds,
                                         config_.aging);
         delta = std::min(delta, config_.maxTime - now);
         if (delta <= 0.0)
             break;
-        map.age(delta / window_seconds);
+        map->age(delta / window_seconds);
         now += delta;
     }
     return series;

@@ -10,6 +10,7 @@
 #ifndef HLLC_FORECAST_FORECAST_HH
 #define HLLC_FORECAST_FORECAST_HH
 
+#include <string>
 #include <vector>
 
 #include "fault/endurance.hh"
@@ -37,6 +38,33 @@ struct ForecastConfig
     /** Intra-frame wear model (ablation; the paper assumes Leveled). */
     fault::WearDistribution wearDistribution =
         fault::WearDistribution::Leveled;
+};
+
+/**
+ * Crash-safety controls of one engine run. With a checkpoint path set,
+ * the simulate/predict loop persists its complete state (fault map,
+ * Set Dueling, time, step index, accumulated series) to that file at
+ * every checkpoint boundary via the atomic CRC-checked container of
+ * common/serialize.hh, and a pending SIGINT/SIGTERM triggers a final
+ * checkpoint before the run unwinds with InterruptedError. Resuming
+ * from a checkpoint is byte-identical to never having stopped; a
+ * corrupt or mismatched checkpoint is rejected by CRC/validation and
+ * the run restarts from scratch with a warning.
+ */
+struct RunOptions
+{
+    /** Checkpoint file; empty disables checkpointing. */
+    std::string checkpointPath;
+    /** Steps between checkpoints (minimum 1). */
+    std::size_t checkpointEvery = 1;
+    /** Restore from checkpointPath when it holds a valid snapshot. */
+    bool resume = false;
+    /**
+     * Stop (with a checkpoint) after this many simulation phases in
+     * this invocation; 0 = run to completion. Used by kill/resume
+     * tests and time-budgeted batch runs.
+     */
+    std::size_t stopAfterSteps = 0;
 };
 
 /** One sample of the forecast output. */
@@ -92,7 +120,15 @@ class ForecastEngine
                    const ForecastConfig &config);
 
     /** Run the simulate/predict loop; returns the time series. */
-    std::vector<ForecastPoint> run();
+    std::vector<ForecastPoint> run() { return run(RunOptions{}); }
+
+    /**
+     * Run with crash-safety options. Returns the full time series (on
+     * resume: restored points plus newly simulated ones). Throws
+     * InterruptedError after writing a final checkpoint when a
+     * SIGINT/SIGTERM flag is pending at a step boundary.
+     */
+    std::vector<ForecastPoint> run(const RunOptions &options);
 
     /**
      * Months at which @p series crosses @p capacity_floor (linear
@@ -109,6 +145,24 @@ class ForecastEngine
     ForecastPoint simulatePhase(hybrid::HybridLlc &llc,
                                 fault::FaultMap &map,
                                 Seconds now, Seconds &window_seconds);
+
+    /** Persist the loop state at a step boundary (atomic container). */
+    void saveCheckpoint(const std::string &path, std::size_t step,
+                        Seconds now,
+                        const std::vector<ForecastPoint> &series,
+                        const fault::FaultMap &map,
+                        const hybrid::HybridLlc &llc) const;
+
+    /**
+     * Restore loop state from @p path; returns the step index to resume
+     * at. Throws IoError on corruption or configuration mismatch — the
+     * caller rebuilds fresh state in that case.
+     */
+    std::size_t loadCheckpoint(const std::string &path,
+                               fault::FaultMap &map,
+                               hybrid::HybridLlc &llc,
+                               std::vector<ForecastPoint> &series,
+                               Seconds &now) const;
 
     const fault::EnduranceModel &endurance_;
     hybrid::HybridLlcConfig llcConfig_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hllc::hybrid
 {
@@ -91,6 +92,52 @@ SetDueling::tick(Cycle cycles)
         crossed = true;
     }
     return crossed;
+}
+
+void
+SetDueling::snapshot(serial::Encoder &enc) const
+{
+    enc.u32(static_cast<std::uint32_t>(candidates_.size()));
+    enc.u32(winner_);
+    enc.u64(clock_);
+    enc.u64(epochs_);
+    enc.u64Vec(hits_);
+    enc.u64Vec(bytes_);
+    std::vector<std::uint64_t> history(winnerHistory_.begin(),
+                                       winnerHistory_.end());
+    enc.u64Vec(history);
+}
+
+void
+SetDueling::restore(serial::Decoder &dec)
+{
+    const std::uint32_t count = dec.u32();
+    if (count != candidates_.size())
+        throw IoError("set-dueling snapshot has " + std::to_string(count) +
+                      " candidates, instance has " +
+                      std::to_string(candidates_.size()));
+    const std::uint32_t winner = dec.u32();
+    if (std::find(candidates_.begin(), candidates_.end(), winner) ==
+        candidates_.end()) {
+        throw IoError("set-dueling snapshot winner " +
+                      std::to_string(winner) + " is not a candidate");
+    }
+    const std::uint64_t clock = dec.u64();
+    const std::uint64_t epochs = dec.u64();
+    std::vector<std::uint64_t> hits = dec.u64Vec();
+    std::vector<std::uint64_t> bytes = dec.u64Vec();
+    const std::vector<std::uint64_t> history = dec.u64Vec();
+    if (hits.size() != candidates_.size() ||
+        bytes.size() != candidates_.size()) {
+        throw IoError("set-dueling snapshot accumulator size mismatch");
+    }
+
+    winner_ = winner;
+    clock_ = clock;
+    epochs_ = epochs;
+    hits_ = std::move(hits);
+    bytes_ = std::move(bytes);
+    winnerHistory_.assign(history.begin(), history.end());
 }
 
 void

@@ -24,6 +24,12 @@
 
 #include "common/types.hh"
 
+namespace hllc::serial
+{
+class Encoder;
+class Decoder;
+} // namespace hllc::serial
+
 namespace hllc::hybrid
 {
 
@@ -86,6 +92,19 @@ class SetDueling
     {
         return winnerHistory_;
     }
+
+    /**
+     * Serialise the mutable dueling state (winner, epoch clock, current
+     * epoch's per-candidate accumulators, winner history). Candidates
+     * and thresholds are configuration and are not stored.
+     */
+    void snapshot(serial::Encoder &enc) const;
+
+    /**
+     * Restore state written by snapshot() into an instance configured
+     * with the same candidate list; throws IoError on mismatch.
+     */
+    void restore(serial::Decoder &dec);
 
   private:
     std::vector<unsigned> candidates_;

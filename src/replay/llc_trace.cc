@@ -1,9 +1,6 @@
 #include "replay/llc_trace.hh"
 
-#include <cstdio>
-#include <memory>
-
-#include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hllc::replay
 {
@@ -11,132 +8,171 @@ namespace hllc::replay
 namespace
 {
 
-constexpr std::uint32_t traceMagic = 0x484c4c54; // "HLLT"
-constexpr std::uint32_t traceVersion = 1;
+/** v1: raw packed structs, no checksum (read-compat only). */
+constexpr std::uint32_t traceMagicV1 = 0x484c4c54; // "HLLT"
+constexpr std::uint32_t traceVersionV1 = 1;
 
-struct FileCloser
-{
-    void operator()(std::FILE *f) const { std::fclose(f); }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+/** v2: CRC32-checked chunked container (what save() writes). */
+constexpr std::uint32_t traceMagicV2 = 0x484c5432; // "HLT2"
+constexpr std::uint32_t traceVersionV2 = 1;
 
-void
-writeOrDie(const void *data, std::size_t size, std::FILE *f,
-           const std::string &path)
+/** Longest mix name any sane trace carries. */
+constexpr std::uint32_t maxNameLen = 4096;
+
+/** On-disk v1 event record stride: u64 + 4 x u8, padded to 16 bytes. */
+constexpr std::size_t v1EventStride = 16;
+/** On-disk v1 per-core metadata stride: 5 x u64 + f64. */
+constexpr std::size_t v1CoreStride = 48;
+
+hybrid::LlcEventType
+checkedEventType(std::uint8_t raw, const std::string &path)
 {
-    if (std::fwrite(data, 1, size, f) != size)
-        fatal("short write to trace file '%s'", path.c_str());
+    if (raw > static_cast<std::uint8_t>(hybrid::LlcEventType::PutDirty))
+        throw IoError("trace file '" + path + "' has invalid event type " +
+                      std::to_string(raw));
+    return static_cast<hybrid::LlcEventType>(raw);
 }
 
-void
-readOrDie(void *data, std::size_t size, std::FILE *f,
-          const std::string &path)
+/**
+ * Parse the legacy v1 image. Every length is validated against the
+ * bytes actually present before any allocation, unlike the original
+ * reader which trusted the header counts.
+ */
+LlcTrace
+loadV1(serial::Decoder &dec, const std::string &path)
 {
-    if (std::fread(data, 1, size, f) != size)
-        fatal("truncated trace file '%s'", path.c_str());
+    const std::uint32_t version = dec.u32();
+    if (version != traceVersionV1)
+        throw IoError("trace file '" + path + "' has unsupported version " +
+                      std::to_string(version));
+
+    LlcTrace trace;
+    const std::uint32_t name_len = dec.u32();
+    if (name_len > maxNameLen || name_len > dec.remaining())
+        throw IoError("trace file '" + path +
+                      "' declares an implausible mix-name length");
+    trace.meta().mixName.resize(name_len);
+    dec.raw(trace.meta().mixName.data(), name_len);
+
+    if (dec.remaining() < traceCores * v1CoreStride + 8)
+        throw IoError("trace file '" + path +
+                      "' is truncated inside the core metadata");
+    for (CoreMeta &core : trace.meta().cores) {
+        core.instructions = dec.u64();
+        core.refs = dec.u64();
+        core.l1Hits = dec.u64();
+        core.l2Hits = dec.u64();
+        core.llcDemands = dec.u64();
+        core.baseCpi = dec.f64();
+    }
+
+    const std::uint64_t count = dec.u64();
+    if (count > dec.remaining() / v1EventStride)
+        throw IoError("trace file '" + path +
+                      "' declares more events than the file holds");
+    trace.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t block = dec.u64();
+        const std::uint8_t type = dec.u8();
+        const std::uint8_t ecb = dec.u8();
+        const std::uint8_t core = dec.u8();
+        std::uint8_t pad[5];
+        dec.raw(pad, sizeof(pad)); // v1 struct padding
+        trace.append(hybrid::LlcEvent{ block,
+                                       checkedEventType(type, path), ecb,
+                                       core });
+    }
+    if (!dec.atEnd())
+        throw IoError("trace file '" + path +
+                      "' has trailing bytes after the event stream");
+    return trace;
 }
 
-/** On-disk event record (packed, little-endian host assumed). */
-struct DiskEvent
+LlcTrace
+loadV2(const std::vector<std::uint8_t> &bytes, const std::string &path)
 {
-    std::uint64_t blockNum;
-    std::uint8_t type;
-    std::uint8_t ecbBytes;
-    std::uint8_t core;
-    std::uint8_t pad = 0;
-};
+    serial::Container container;
+    try {
+        container = serial::Container::decode(bytes.data(), bytes.size(),
+                                              traceMagicV2, traceVersionV2,
+                                              traceVersionV2);
+    } catch (const IoError &e) {
+        throw IoError("trace file '" + path + "': " + e.what());
+    }
 
-/** On-disk per-core metadata. */
-struct DiskCoreMeta
-{
-    std::uint64_t instructions;
-    std::uint64_t refs;
-    std::uint64_t l1Hits;
-    std::uint64_t l2Hits;
-    std::uint64_t llcDemands;
-    double baseCpi;
-};
+    LlcTrace trace;
+    serial::Decoder meta = container.open("meta");
+    trace.meta().mixName = meta.str(maxNameLen);
+    for (CoreMeta &core : trace.meta().cores) {
+        core.instructions = meta.u64();
+        core.refs = meta.u64();
+        core.l1Hits = meta.u64();
+        core.l2Hits = meta.u64();
+        core.llcDemands = meta.u64();
+        core.baseCpi = meta.f64();
+    }
+
+    serial::Decoder evts = container.open("evts");
+    const std::uint64_t count = evts.u64();
+    if (count > evts.remaining() / 11) // u64 + 3 x u8 per event
+        throw IoError("trace file '" + path +
+                      "' declares more events than the chunk holds");
+    trace.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t block = evts.u64();
+        const std::uint8_t type = evts.u8();
+        const std::uint8_t ecb = evts.u8();
+        const std::uint8_t core = evts.u8();
+        trace.append(hybrid::LlcEvent{ block,
+                                       checkedEventType(type, path), ecb,
+                                       core });
+    }
+    return trace;
+}
 
 } // anonymous namespace
 
 void
 LlcTrace::save(const std::string &path) const
 {
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        fatal("cannot open trace file '%s' for writing", path.c_str());
+    serial::Container container;
 
-    writeOrDie(&traceMagic, sizeof(traceMagic), f.get(), path);
-    writeOrDie(&traceVersion, sizeof(traceVersion), f.get(), path);
-
-    const auto name_len =
-        static_cast<std::uint32_t>(meta_.mixName.size());
-    writeOrDie(&name_len, sizeof(name_len), f.get(), path);
-    writeOrDie(meta_.mixName.data(), name_len, f.get(), path);
-
+    serial::Encoder &meta = container.add("meta");
+    meta.str(meta_.mixName);
     for (const CoreMeta &core : meta_.cores) {
-        const DiskCoreMeta m{ core.instructions, core.refs, core.l1Hits,
-                              core.l2Hits, core.llcDemands,
-                              core.baseCpi };
-        writeOrDie(&m, sizeof(m), f.get(), path);
+        meta.u64(core.instructions);
+        meta.u64(core.refs);
+        meta.u64(core.l1Hits);
+        meta.u64(core.l2Hits);
+        meta.u64(core.llcDemands);
+        meta.f64(core.baseCpi);
     }
 
-    const auto count = static_cast<std::uint64_t>(events_.size());
-    writeOrDie(&count, sizeof(count), f.get(), path);
+    serial::Encoder &evts = container.add("evts");
+    evts.u64(events_.size());
     for (const hybrid::LlcEvent &ev : events_) {
-        const DiskEvent d{ ev.blockNum,
-                           static_cast<std::uint8_t>(ev.type),
-                           ev.ecbBytes, ev.core };
-        writeOrDie(&d, sizeof(d), f.get(), path);
+        evts.u64(ev.blockNum);
+        evts.u8(static_cast<std::uint8_t>(ev.type));
+        evts.u8(ev.ecbBytes);
+        evts.u8(ev.core);
     }
+
+    container.save(path, traceMagicV2, traceVersionV2);
 }
 
 LlcTrace
 LlcTrace::load(const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        fatal("cannot open trace file '%s'", path.c_str());
-
-    std::uint32_t magic = 0, version = 0;
-    readOrDie(&magic, sizeof(magic), f.get(), path);
-    readOrDie(&version, sizeof(version), f.get(), path);
-    if (magic != traceMagic)
-        fatal("'%s' is not an hllc trace file", path.c_str());
-    if (version != traceVersion)
-        fatal("trace file '%s' has unsupported version %u",
-              path.c_str(), version);
-
-    LlcTrace trace;
-    std::uint32_t name_len = 0;
-    readOrDie(&name_len, sizeof(name_len), f.get(), path);
-    if (name_len > 4096)
-        fatal("corrupt trace file '%s'", path.c_str());
-    trace.meta_.mixName.resize(name_len);
-    readOrDie(trace.meta_.mixName.data(), name_len, f.get(), path);
-
-    for (CoreMeta &core : trace.meta_.cores) {
-        DiskCoreMeta m{};
-        readOrDie(&m, sizeof(m), f.get(), path);
-        core.instructions = m.instructions;
-        core.refs = m.refs;
-        core.l1Hits = m.l1Hits;
-        core.l2Hits = m.l2Hits;
-        core.llcDemands = m.llcDemands;
-        core.baseCpi = m.baseCpi;
-    }
-
-    std::uint64_t count = 0;
-    readOrDie(&count, sizeof(count), f.get(), path);
-    trace.events_.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        DiskEvent d{};
-        readOrDie(&d, sizeof(d), f.get(), path);
-        trace.events_.push_back(hybrid::LlcEvent{
-            d.blockNum, static_cast<hybrid::LlcEventType>(d.type),
-            d.ecbBytes, d.core });
-    }
-    return trace;
+    const std::vector<std::uint8_t> bytes = serial::readFileBytes(path);
+    serial::Decoder dec(bytes);
+    if (dec.remaining() < 4)
+        throw IoError("'" + path + "' is not an hllc trace file");
+    const std::uint32_t magic = dec.u32();
+    if (magic == traceMagicV1)
+        return loadV1(dec, path);
+    if (magic == traceMagicV2)
+        return loadV2(bytes, path);
+    throw IoError("'" + path + "' is not an hllc trace file");
 }
 
 } // namespace hllc::replay

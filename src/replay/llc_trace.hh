@@ -59,12 +59,20 @@ class LlcTrace
     void reserve(std::size_t n) { events_.reserve(n); }
 
     /**
-     * Serialise to a binary .hlt file (magic + version + metadata +
-     * packed events). fatal() on I/O errors.
+     * Serialise to a binary .hlt file. Writes the v2 format: a
+     * CRC32-checksummed chunked container (common/serialize.hh),
+     * persisted atomically (temp file + fsync + rename). Throws
+     * hllc::IoError on I/O failure.
      */
     void save(const std::string &path) const;
 
-    /** Load a trace previously written by save(). */
+    /**
+     * Load a trace written by save(). Reads both the current v2
+     * container format and legacy v1 raw-struct files; every declared
+     * length is validated against the actual file size before any
+     * allocation. Throws hllc::IoError on corruption, truncation or
+     * unsupported version — library code never kills the process.
+     */
     static LlcTrace load(const std::string &path);
 
   private:

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/interrupt.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "hierarchy/hierarchy.hh"
@@ -70,7 +71,8 @@ Experiment::makeEndurance(const hybrid::HybridLlcConfig &llc) const
 ForecastSummary
 Experiment::runForecast(const hybrid::HybridLlcConfig &llc,
                         std::string label,
-                        forecast::ForecastConfig fc) const
+                        forecast::ForecastConfig fc,
+                        const forecast::RunOptions &run_options) const
 {
     const fault::EnduranceModel endurance = makeEndurance(llc);
     ForecastEngine engine(endurance, llc, tracePtrs(), config_.timing,
@@ -78,7 +80,7 @@ Experiment::runForecast(const hybrid::HybridLlcConfig &llc,
 
     ForecastSummary summary;
     summary.label = std::move(label);
-    summary.series = engine.run();
+    summary.series = engine.run(run_options);
     summary.lifetimeMonths =
         ForecastEngine::lifetimeMonths(summary.series, fc.capacityFloor);
     summary.initialIpc = ForecastEngine::initialIpc(summary.series);
@@ -179,10 +181,21 @@ fmt(double value, int decimals)
     return buf;
 }
 
-void
+int
+ForecastGridOutcome::exitCode() const
+{
+    if (interrupted) {
+        const int code = interruptExitCode();
+        return code != 0 ? code : 130;
+    }
+    return failures.empty() ? 0 : 1;
+}
+
+int
 runAndPrintForecastStudy(const Experiment &experiment,
                          const std::vector<StudyEntry> &entries,
-                         const forecast::ForecastConfig &fc)
+                         const forecast::ForecastConfig &fc,
+                         const CheckpointOptions &checkpoint)
 {
     const SystemConfig &config = experiment.config();
     const double upper = experiment.upperBoundIpc();
@@ -200,10 +213,27 @@ runAndPrintForecastStudy(const Experiment &experiment,
                 "equivalent = months x %.3g\n",
                 config.scale, config.fullScaleFactor());
 
+    if (checkpoint.enabled()) {
+        installInterruptHandlers();
+        inform("checkpointing to '%s' every %zu step(s)%s",
+               checkpoint.dir.c_str(), checkpoint.every,
+               checkpoint.resume ? ", resuming" : "");
+    }
     inform("forecasting %zu policies (%u jobs)...", entries.size(),
            resolveJobs(config.jobs));
-    const std::vector<ForecastSummary> summaries =
-        runForecastGrid(experiment, entries, fc);
+    const ForecastGridOutcome outcome = runForecastGridCheckpointed(
+        experiment, entries, fc, checkpoint);
+
+    if (outcome.interrupted) {
+        // A partial grid is not the study: skip the result tables, keep
+        // the checkpoints, and tell the user how to pick the run up.
+        std::fprintf(stderr,
+                     "interrupted by signal %d; checkpoints are under "
+                     "'%s' -- rerun with --resume to continue\n",
+                     interruptSignal(), checkpoint.dir.c_str());
+        return outcome.exitCode();
+    }
+    const std::vector<ForecastSummary> &summaries = outcome.summaries;
 
     std::printf("\n# time series (one row per forecast point)\n");
     std::printf("%-12s %10s %10s %10s %10s\n", "policy", "months",
@@ -234,6 +264,13 @@ runAndPrintForecastStudy(const Experiment &experiment,
                         ? summary.lifetimeMonths / bh_lifetime
                         : 0.0);
     }
+
+    for (const CellFailure &failure : outcome.failures) {
+        std::fprintf(stderr, "error: cell %zu (%s) failed: %s\n",
+                     failure.index, failure.label.c_str(),
+                     failure.error.c_str());
+    }
+    return outcome.exitCode();
 }
 
 } // namespace hllc::sim

@@ -29,6 +29,45 @@ struct ForecastSummary
     double initialIpc = 0.0;
 };
 
+/**
+ * Crash-safety knobs of a checkpointed forecast grid (CLI surface:
+ * --checkpoint-dir DIR, --checkpoint-every N, --resume; parsed by
+ * sim::parseCheckpointArgs). With a directory set, every grid cell
+ * checkpoints its forecast state to "DIR/cell<i>_<label>.ckpt" and a
+ * SIGINT/SIGTERM is turned into a final checkpoint plus a clean
+ * non-zero exit instead of lost work.
+ */
+struct CheckpointOptions
+{
+    std::string dir;          //!< empty disables checkpointing
+    std::size_t every = 1;    //!< forecast steps between checkpoints
+    bool resume = false;      //!< restore cells from existing checkpoints
+
+    bool enabled() const { return !dir.empty(); }
+};
+
+/** A grid cell whose forecast threw: recorded, not fatal to the grid. */
+struct CellFailure
+{
+    std::size_t index = 0;
+    std::string label;
+    std::string error;
+};
+
+/** Everything a checkpointed forecast grid produced. */
+struct ForecastGridOutcome
+{
+    /** Successful cells, in entry order (failed cells are absent). */
+    std::vector<ForecastSummary> summaries;
+    std::vector<CellFailure> failures;
+    /** True when a SIGINT/SIGTERM stopped the grid mid-run. */
+    bool interrupted = false;
+
+    bool ok() const { return failures.empty() && !interrupted; }
+    /** 0 on success, 1 on cell failures, 128+signal when interrupted. */
+    int exitCode() const;
+};
+
 /** Result of a single (no-aging) replay phase. */
 struct PhaseSummary
 {
@@ -60,10 +99,17 @@ class Experiment
     fault::EnduranceModel
     makeEndurance(const hybrid::HybridLlcConfig &llc) const;
 
-    /** Forecast @p llc until 50% NVM capacity. */
+    /**
+     * Forecast @p llc until 50% NVM capacity. @p run_options carries the
+     * crash-safety knobs (checkpoint path/cadence/resume); the default
+     * runs unchecked. Throws InterruptedError (after writing a final
+     * checkpoint) when a termination signal arrives at a step boundary
+     * of a checkpointed run.
+     */
     ForecastSummary
     runForecast(const hybrid::HybridLlcConfig &llc, std::string label,
-                forecast::ForecastConfig fc = {}) const;
+                forecast::ForecastConfig fc = {},
+                const forecast::RunOptions &run_options = {}) const;
 
     /**
      * One replay phase at a fixed NVM capacity (no aging): the Fig. 6/7/9
@@ -116,10 +162,20 @@ struct StudyEntry
  * the 16-way SRAM upper bound) and a summary table with lifetimes in
  * simulated and full-scale months plus the x-factor over the first
  * entry (conventionally BH).
+ *
+ * With @p checkpoint enabled, interrupt handlers are installed and every
+ * cell checkpoints at its cadence; an interrupt suppresses the result
+ * tables (the partial grid would not be the study) and the process
+ * should exit with the returned code. Cells that throw are reported to
+ * stderr per cell while the remaining cells complete.
+ *
+ * @return the process exit code: 0 clean, 1 if any cell failed,
+ *         128+signal when interrupted (see ForecastGridOutcome).
  */
-void runAndPrintForecastStudy(const Experiment &experiment,
-                              const std::vector<StudyEntry> &entries,
-                              const forecast::ForecastConfig &fc = {});
+int runAndPrintForecastStudy(const Experiment &experiment,
+                             const std::vector<StudyEntry> &entries,
+                             const forecast::ForecastConfig &fc = {},
+                             const CheckpointOptions &checkpoint = {});
 
 /** Format months with two decimals (avoids iostream noise in benches). */
 std::string fmt(double value, int decimals = 3);

@@ -1,8 +1,11 @@
 #include "sim/grid.hh"
 
-#include <cstdlib>
+#include <cerrno>
 #include <cstring>
+#include <sys/stat.h>
 
+#include "common/argparse.hh"
+#include "common/interrupt.hh"
 #include "common/logging.hh"
 
 namespace hllc::sim
@@ -24,13 +27,54 @@ parseJobsArg(int argc, char **argv)
         }
         if (i + 1 >= argc)
             fatal("%s requires a value", argv[i]);
-        char *end = nullptr;
-        const long parsed = std::strtol(argv[i + 1], &end, 10);
-        if (end == argv[i + 1] || *end != '\0' || parsed < 1)
+        const auto parsed = parseUnsigned(argv[i + 1], 1);
+        if (!parsed)
             fatal("bad jobs value '%s'", argv[i + 1]);
-        return static_cast<unsigned>(parsed);
+        return *parsed;
     }
     return 0;
+}
+
+CheckpointOptions
+parseCheckpointArgs(int argc, char **argv)
+{
+    CheckpointOptions options;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+            if (i + 1 >= argc)
+                fatal("--checkpoint-dir requires a directory");
+            options.dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+            if (i + 1 >= argc)
+                fatal("--checkpoint-every requires a step count");
+            const auto parsed = parseU64(argv[i + 1], 1);
+            if (!parsed)
+                fatal("bad --checkpoint-every value '%s'", argv[i + 1]);
+            options.every = static_cast<std::size_t>(*parsed);
+            ++i;
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            options.resume = true;
+        }
+    }
+    if (options.resume && !options.enabled())
+        fatal("--resume requires --checkpoint-dir");
+    return options;
+}
+
+std::string
+checkpointCellPath(const CheckpointOptions &checkpoint, std::size_t index,
+                   const std::string &label)
+{
+    std::string safe = label;
+    for (char &c : safe) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                        c == '_';
+        if (!ok)
+            c = '_';
+    }
+    return checkpoint.dir + "/cell" + std::to_string(index) + "_" + safe +
+           ".ckpt";
 }
 
 std::vector<ForecastSummary>
@@ -48,6 +92,75 @@ runForecastGrid(const Experiment &experiment,
                                           entries[i].label, fc);
         },
         jobs);
+}
+
+namespace
+{
+
+/** Per-cell result of the checkpointed grid (collected off-thread). */
+struct CellOutcome
+{
+    ForecastSummary summary;
+    std::string error;
+    bool failed = false;
+    bool interrupted = false;
+};
+
+} // anonymous namespace
+
+ForecastGridOutcome
+runForecastGridCheckpointed(const Experiment &experiment,
+                            const std::vector<StudyEntry> &entries,
+                            const forecast::ForecastConfig &fc,
+                            const CheckpointOptions &checkpoint,
+                            unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = experiment.config().jobs;
+    if (checkpoint.enabled()) {
+        if (::mkdir(checkpoint.dir.c_str(), 0777) != 0 && errno != EEXIST)
+            fatal("cannot create checkpoint directory '%s': %s",
+                  checkpoint.dir.c_str(), std::strerror(errno));
+    }
+
+    std::vector<CellOutcome> cells = runGrid(
+        entries.size(),
+        [&](std::size_t i) {
+            CellOutcome out;
+            forecast::RunOptions run_options;
+            if (checkpoint.enabled()) {
+                run_options.checkpointPath =
+                    checkpointCellPath(checkpoint, i, entries[i].label);
+                run_options.checkpointEvery = checkpoint.every;
+                run_options.resume = checkpoint.resume;
+            }
+            try {
+                out.summary = experiment.runForecast(
+                    entries[i].llc, entries[i].label, fc, run_options);
+            } catch (const InterruptedError &) {
+                out.interrupted = true;
+            } catch (const std::exception &e) {
+                out.failed = true;
+                out.error = e.what();
+            } catch (...) {
+                out.failed = true;
+                out.error = "unknown error";
+            }
+            return out;
+        },
+        jobs);
+
+    ForecastGridOutcome outcome;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].interrupted)
+            outcome.interrupted = true;
+        else if (cells[i].failed)
+            outcome.failures.push_back(
+                { i, entries[i].label, std::move(cells[i].error) });
+        else
+            outcome.summaries.push_back(std::move(cells[i].summary));
+    }
+    return outcome;
 }
 
 std::vector<PhaseSummary>

@@ -42,6 +42,22 @@ unsigned resolveJobs(unsigned jobs);
 unsigned parseJobsArg(int argc, char **argv);
 
 /**
+ * Scan a bench command line for the crash-safety flags --checkpoint-dir
+ * DIR, --checkpoint-every N and --resume; fatal() on malformed values
+ * or --resume without a checkpoint directory.
+ */
+CheckpointOptions parseCheckpointArgs(int argc, char **argv);
+
+/**
+ * Checkpoint file of grid cell @p index labelled @p label under the
+ * options' directory ("DIR/cell<i>_<label>.ckpt", label sanitised to
+ * filename-safe characters).
+ */
+std::string checkpointCellPath(const CheckpointOptions &checkpoint,
+                               std::size_t index,
+                               const std::string &label);
+
+/**
  * Evaluate @p cell(0) .. @p cell(cells - 1) on @p jobs workers and
  * return the results in cell-index order. The cell callable must not
  * depend on shared mutable state; randomness must be keyed on the cell
@@ -82,6 +98,21 @@ runForecastGrid(const Experiment &experiment,
                 const std::vector<StudyEntry> &entries,
                 const forecast::ForecastConfig &fc = {},
                 unsigned jobs = 0);
+
+/**
+ * Forecast grid with crash containment: every cell checkpoints under
+ * @p checkpoint (when enabled), a throwing cell becomes a CellFailure
+ * while the other cells complete, and a pending SIGINT/SIGTERM (see
+ * common/interrupt.hh) marks the outcome interrupted after each running
+ * cell has written its final checkpoint. Successful summaries keep
+ * entry order, so the output stays byte-identical for any jobs value.
+ */
+ForecastGridOutcome
+runForecastGridCheckpointed(const Experiment &experiment,
+                            const std::vector<StudyEntry> &entries,
+                            const forecast::ForecastConfig &fc = {},
+                            const CheckpointOptions &checkpoint = {},
+                            unsigned jobs = 0);
 
 /**
  * Replay every phase cell of @p cells in parallel; results are in cell

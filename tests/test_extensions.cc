@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "common/error.hh"
 #include "hierarchy/energy.hh"
 #include "hierarchy/hierarchy.hh"
 #include "replay/replayer.hh"
@@ -92,8 +93,7 @@ TEST_F(TraceFile, LoadRejectsGarbage)
     ASSERT_NE(f, nullptr);
     std::fputs("definitely not a trace", f);
     std::fclose(f);
-    EXPECT_EXIT(replay::LlcTrace::load(path()),
-                ::testing::ExitedWithCode(1), "not an hllc trace");
+    EXPECT_THROW(replay::LlcTrace::load(path()), IoError);
 }
 
 TEST(Energy, BreakdownFollowsCounters)

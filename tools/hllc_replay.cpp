@@ -12,11 +12,12 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 
+#include "common/argparse.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "forecast/forecast.hh"
 #include "sim/grid.hh"
@@ -78,7 +79,12 @@ main(int argc, char **argv)
         return 2;
     }
     const unsigned jobs = sim::parseJobsArg(argc, argv);
-    const replay::LlcTrace trace = replay::LlcTrace::load(argv[1]);
+    replay::LlcTrace trace;
+    try {
+        trace = replay::LlcTrace::load(argv[1]);
+    } catch (const IoError &e) {
+        fatal("%s", e.what());
+    }
     const std::vector<PolicyKind> policies =
         argc > 2 && argv[2][0] != '-' ? parsePolicyList(argv[2])
                                       : std::vector<PolicyKind>{
@@ -86,8 +92,20 @@ main(int argc, char **argv)
 
     const sim::SystemConfig config = sim::SystemConfig::tableIV();
     hybrid::PolicyParams params;
-    if (argc > 3 && argv[3][0] != '-')
-        params.fixedCpth = static_cast<unsigned>(std::atoi(argv[3]));
+    if (argc > 3 && argv[3][0] != '-') {
+        // CPth is a byte threshold within a 64-byte block.
+        const auto cpth = parseUnsigned(argv[3], 1, 64);
+        if (!cpth) {
+            std::fprintf(stderr,
+                         "%s: bad cpth '%s' (expected an integer in "
+                         "1..64)\n"
+                         "usage: %s <trace.hlt> [policy[,policy...]] "
+                         "[cpth] [--jobs N]\n",
+                         argv[0], argv[3], argv[0]);
+            return 2;
+        }
+        params.fixedCpth = *cpth;
+    }
 
     const auto results = sim::runGrid(
         policies.size(),

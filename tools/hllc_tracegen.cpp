@@ -10,8 +10,9 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/argparse.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "hierarchy/hierarchy.hh"
 #include "sim/config.hh"
@@ -19,35 +20,59 @@
 
 using namespace hllc;
 
+namespace
+{
+
+int
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s <mix 1..10> <output.hlt> [refs_per_core]\n",
+                 prog);
+    return 2;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: %s <mix 1..10> <output.hlt> "
-                     "[refs_per_core]\n", argv[0]);
-        return 2;
+    if (argc < 3)
+        return usage(argv[0]);
+    const auto mix_number = parseUnsigned(argv[1], 1, 10);
+    if (!mix_number) {
+        std::fprintf(stderr, "%s: bad mix number '%s'\n", argv[0],
+                     argv[1]);
+        return usage(argv[0]);
     }
-    const int mix_number = std::atoi(argv[1]);
-    if (mix_number < 1 || mix_number > 10)
-        fatal("mix number must be in 1..10");
     const std::string path = argv[2];
 
     const sim::SystemConfig config = sim::SystemConfig::tableIV();
-    const std::uint64_t refs = argc > 3
-        ? std::strtoull(argv[3], nullptr, 10)
-        : config.refsPerCore;
+    std::uint64_t refs = config.refsPerCore;
+    if (argc > 3) {
+        const auto parsed = parseU64(argv[3], 1);
+        if (!parsed) {
+            std::fprintf(stderr, "%s: bad refs_per_core '%s'\n", argv[0],
+                         argv[3]);
+            return usage(argv[0]);
+        }
+        refs = *parsed;
+    }
 
-    const auto &mix = workload::tableVMixes()[mix_number - 1];
+    const auto &mix = workload::tableVMixes()[*mix_number - 1];
     inform("capturing %s: %llu refs/core at scale %.3g...",
            mix.name.c_str(), static_cast<unsigned long long>(refs),
            config.scale);
 
     const replay::LlcTrace trace = hierarchy::captureTrace(
         mix, config.llcBlocks(), config.privateCaches, refs,
-        config.seed + static_cast<std::uint64_t>(mix_number) - 1,
+        config.seed + static_cast<std::uint64_t>(*mix_number) - 1,
         config.scheme);
-    trace.save(path);
+    try {
+        trace.save(path);
+    } catch (const IoError &e) {
+        fatal("%s", e.what());
+    }
 
     std::printf("%s: %zu LLC events (%s) written\n", path.c_str(),
                 trace.size(), mix.name.c_str());
