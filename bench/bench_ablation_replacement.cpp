@@ -44,6 +44,8 @@ main(int argc, char **argv)
         }
     }
     const auto phases = sim::runPhaseGrid(experiment, cells);
+    sim::exportPhaseStudy(sim::parseStatsOutArg(argc, argv),
+                          "ablation-replacement", phases);
 
     std::printf("\n%-10s %-7s %10s %14s %10s\n", "policy", "repl",
                 "hit rate", "NVM bytes", "IPC");

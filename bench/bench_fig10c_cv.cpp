@@ -41,5 +41,6 @@ main(int argc, char **argv)
         { "CP_SD_Th8", config.llcConfig(PolicyKind::CpSdTh, th8) },
     };
     return sim::runAndPrintForecastStudy(
-        experiment, entries, {}, sim::parseCheckpointArgs(argc, argv));
+        experiment, entries, {}, sim::parseCheckpointArgs(argc, argv),
+        sim::parseStatsOutArg(argc, argv));
 }

@@ -47,5 +47,6 @@ main(int argc, char **argv)
                             th });
     }
     return sim::runAndPrintForecastStudy(
-        experiment, entries, {}, sim::parseCheckpointArgs(argc, argv));
+        experiment, entries, {}, sim::parseCheckpointArgs(argc, argv),
+        sim::parseStatsOutArg(argc, argv));
 }

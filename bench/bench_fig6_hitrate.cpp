@@ -10,26 +10,31 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "compression/encoding.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using hybrid::PolicyKind;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
+    const std::string stats_out = sim::parseStatsOutArg(argc, argv);
     const sim::SystemConfig config = sim::SystemConfig::tableIV();
     sim::printConfigHeader(config,
                            "Figure 6: normalized LLC hit rate vs CPth");
     const sim::Experiment experiment(config);
 
+    std::vector<sim::PhaseSummary> summaries;
     const auto bh =
         experiment.runPhase(config.llcConfig(PolicyKind::Bh), "BH");
     const double bh_hits = bh.aggregate.hitRate;
+    summaries.push_back(bh);
     std::printf("# BH hit rate: %.4f (normalization basis)\n\n",
                 bh_hits);
 
@@ -37,13 +42,17 @@ main()
     for (unsigned cpth : compression::cpthCandidates()) {
         hybrid::PolicyParams params;
         params.fixedCpth = cpth;
+        const std::string suffix = "_cpth" + std::to_string(cpth);
         const auto ca = experiment.runPhase(
-            config.llcConfig(PolicyKind::Ca, params), "CA");
+            config.llcConfig(PolicyKind::Ca, params), "CA" + suffix);
         const auto rwr = experiment.runPhase(
-            config.llcConfig(PolicyKind::CaRwr, params), "CA_RWR");
+            config.llcConfig(PolicyKind::CaRwr, params),
+            "CA_RWR" + suffix);
         std::printf("%6u %12.4f %12.4f\n", cpth,
                     ca.aggregate.hitRate / bh_hits,
                     rwr.aggregate.hitRate / bh_hits);
+        summaries.push_back(ca);
+        summaries.push_back(rwr);
     }
 
     const auto cpsd =
@@ -51,5 +60,8 @@ main()
     std::printf("\nCP_SD (Set Dueling): %.4f of BH  (paper: ~ best "
                 "CA_RWR, ~0.97-1.0)\n",
                 cpsd.aggregate.hitRate / bh_hits);
+    summaries.push_back(cpsd);
+
+    sim::exportPhaseStudy(stats_out, "fig6-hitrate", summaries);
     return 0;
 }

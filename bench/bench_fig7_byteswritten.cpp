@@ -10,27 +10,32 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "compression/encoding.hh"
-#include "sim/experiment.hh"
+#include "sim/grid.hh"
 
 using namespace hllc;
 using hybrid::PolicyKind;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
+    const std::string stats_out = sim::parseStatsOutArg(argc, argv);
     const sim::SystemConfig config = sim::SystemConfig::tableIV();
     sim::printConfigHeader(
         config, "Figure 7: normalized NVM bytes written vs CPth");
     const sim::Experiment experiment(config);
 
+    std::vector<sim::PhaseSummary> summaries;
     const auto bh =
         experiment.runPhase(config.llcConfig(PolicyKind::Bh), "BH");
     const auto bh_bytes =
         static_cast<double>(bh.aggregate.nvmBytesWritten);
+    summaries.push_back(bh);
     std::printf("# BH bytes written: %.0f (normalization basis)\n\n",
                 bh_bytes);
 
@@ -38,18 +43,25 @@ main()
     for (unsigned cpth : compression::cpthCandidates()) {
         hybrid::PolicyParams params;
         params.fixedCpth = cpth;
+        const std::string suffix = "_cpth" + std::to_string(cpth);
         const auto ca = experiment.runPhase(
-            config.llcConfig(PolicyKind::Ca, params), "CA");
+            config.llcConfig(PolicyKind::Ca, params), "CA" + suffix);
         const auto rwr = experiment.runPhase(
-            config.llcConfig(PolicyKind::CaRwr, params), "CA_RWR");
+            config.llcConfig(PolicyKind::CaRwr, params),
+            "CA_RWR" + suffix);
         std::printf("%6u %12.4f %12.4f\n", cpth,
                     ca.aggregate.nvmBytesWritten / bh_bytes,
                     rwr.aggregate.nvmBytesWritten / bh_bytes);
+        summaries.push_back(ca);
+        summaries.push_back(rwr);
     }
 
     const auto cpsd =
         experiment.runPhase(config.llcConfig(PolicyKind::CpSd), "CP_SD");
     std::printf("\nCP_SD (Set Dueling): %.4f of BH\n",
                 cpsd.aggregate.nvmBytesWritten / bh_bytes);
+    summaries.push_back(cpsd);
+
+    sim::exportPhaseStudy(stats_out, "fig7-byteswritten", summaries);
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "common/logging.hh"
 #include "compression/encoding.hh"
@@ -58,14 +59,19 @@ main(int argc, char **argv)
     const std::size_t num_mixes = experiment.traces().size();
     std::vector<sim::PhaseCell> cells;
     for (double capacity : capacities) {
-        cells.push_back({ "CP_SD", config.llcConfig(PolicyKind::CpSd),
-                          capacity, sim::allMixes });
+        cells.push_back({ "CP_SD_cap" +
+                              std::to_string(static_cast<int>(
+                                  100.0 * capacity)),
+                          config.llcConfig(PolicyKind::CpSd), capacity,
+                          sim::allMixes });
     }
     for (std::size_t mix = 0; mix < num_mixes; ++mix) {
-        cells.push_back({ "CP_SD", config.llcConfig(PolicyKind::CpSd),
-                          1.0, mix });
+        cells.push_back({ "CP_SD_mix" + std::to_string(mix + 1),
+                          config.llcConfig(PolicyKind::CpSd), 1.0, mix });
     }
     const auto phases = sim::runPhaseGrid(experiment, cells);
+    sim::exportPhaseStudy(sim::parseStatsOutArg(argc, argv),
+                          "fig8-optimal-cpth", phases);
 
     std::printf("\ncolumns: CPth =");
     for (unsigned c : compression::cpthCandidates())

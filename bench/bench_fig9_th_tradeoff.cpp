@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "common/logging.hh"
 #include "sim/grid.hh"
@@ -51,12 +52,17 @@ main(int argc, char **argv)
             // Th = 0 is plain CP_SD (max-hits winner).
             const auto policy = th == 0.0 ? PolicyKind::CpSd
                                           : PolicyKind::CpSdTh;
-            cells.push_back({ "CP_SD_Th",
-                              config.llcConfig(policy, params),
-                              capacity, sim::allMixes });
+            cells.push_back(
+                { "CP_SD_Th" + std::to_string(static_cast<int>(th)) +
+                      "_cap" +
+                      std::to_string(static_cast<int>(100.0 * capacity)),
+                  config.llcConfig(policy, params), capacity,
+                  sim::allMixes });
         }
     }
     const auto phases = sim::runPhaseGrid(experiment, cells);
+    sim::exportPhaseStudy(sim::parseStatsOutArg(argc, argv),
+                          "fig9-th-tradeoff", phases);
 
     const double bh_hits =
         static_cast<double>(phases[0].aggregate.demandHits);

@@ -19,6 +19,14 @@ SetAssocCache::SetAssocCache(std::string name, std::size_t size_bytes,
     HLLC_ASSERT(numSets_ > 0, "cache smaller than one set");
     HLLC_ASSERT(std::has_single_bit(numSets_),
                 "set count %u must be a power of two", numSets_);
+
+    // Pre-register every counter this cache can bump: a counter that
+    // stays zero must still exist for counterValue() lookups.
+    for (const char *c : { "read_hits", "read_misses", "write_hits",
+                           "write_misses", "evictions", "fills",
+                           "invalidations" }) {
+        stats_.counter(c);
+    }
 }
 
 int

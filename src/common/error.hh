@@ -2,12 +2,13 @@
  * @file
  * Typed error hierarchy for recoverable library failures.
  *
- * Library code (trace I/O, checkpoint containers) must never kill the
- * process: a grid running hundreds of forecast cells has to survive one
- * bad file. I/O and corruption problems therefore surface as IoError,
- * which callers either handle (a grid cell degrades to "failed", a
- * resume path falls back to a fresh start) or convert to fatal() at the
- * CLI boundary. fatal() itself remains reserved for the tool mains.
+ * Library code (trace I/O, checkpoint containers, stats lookups) must
+ * never kill the process: a grid running hundreds of forecast cells has
+ * to survive one bad file. Recoverable problems therefore surface as
+ * subclasses of hllc::Error, which callers either handle (a grid cell
+ * degrades to "failed", a resume path falls back to a fresh start) or
+ * convert to fatal() at the CLI boundary. fatal() itself remains
+ * reserved for the tool mains.
  */
 
 #ifndef HLLC_COMMON_ERROR_HH
@@ -19,17 +20,35 @@
 namespace hllc
 {
 
+/** Root of the recoverable-error hierarchy. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
 /**
  * A file could not be opened, read, written, or failed validation
  * (bad magic, impossible lengths, CRC mismatch, truncation).
  */
-class IoError : public std::runtime_error
+class IoError : public Error
 {
   public:
-    explicit IoError(const std::string &what_arg)
-        : std::runtime_error(what_arg)
-    {
-    }
+    explicit IoError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+/**
+ * A statistic was looked up by a name that was never registered —
+ * almost always a typo in the caller, which silently fabricating a 0
+ * would hide.
+ */
+class StatError : public Error
+{
+  public:
+    explicit StatError(const std::string &what_arg) : Error(what_arg) {}
 };
 
 } // namespace hllc

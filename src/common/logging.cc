@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 namespace hllc
 {
@@ -10,6 +11,35 @@ namespace
 {
 
 LogLevel g_level = LogLevel::Inform;
+
+/**
+ * HLLC_LOG={quiet,warn,info,debug} overrides every programmatic
+ * setLogLevel() call, so a user can surface the grid heartbeats of a
+ * bench that defaults to Warn without recompiling.
+ */
+const LogLevel *
+envLevel()
+{
+    static const LogLevel *override_level = []() -> const LogLevel * {
+        static LogLevel parsed;
+        const char *env = std::getenv("HLLC_LOG");
+        if (env == nullptr)
+            return nullptr;
+        const std::string_view v(env);
+        if (v == "quiet")
+            parsed = LogLevel::Quiet;
+        else if (v == "warn")
+            parsed = LogLevel::Warn;
+        else if (v == "info" || v == "inform")
+            parsed = LogLevel::Inform;
+        else if (v == "debug")
+            parsed = LogLevel::Debug;
+        else
+            return nullptr;
+        return &parsed;
+    }();
+    return override_level;
+}
 
 void
 vreport(const char *tag, const char *fmt, std::va_list ap)
@@ -24,7 +54,7 @@ vreport(const char *tag, const char *fmt, std::va_list ap)
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level = envLevel() != nullptr ? *envLevel() : level;
 }
 
 LogLevel

@@ -19,7 +19,12 @@ namespace hllc
 /** Verbosity levels accepted by setLogLevel(). */
 enum class LogLevel { Quiet, Warn, Inform, Debug };
 
-/** Set the global verbosity threshold (default: Inform). */
+/**
+ * Set the global verbosity threshold (default: Inform). The HLLC_LOG
+ * environment variable ({quiet,warn,info,debug}) overrides @p level,
+ * so users can surface e.g. grid heartbeats from a bench that lowers
+ * its own verbosity.
+ */
 void setLogLevel(LogLevel level);
 
 /** Current global verbosity threshold. */

@@ -1,6 +1,10 @@
 #include "common/stats.hh"
 
+#include <cmath>
+
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hllc
 {
@@ -15,11 +19,22 @@ Histogram::Histogram(std::size_t bucket_count, double bucket_width)
 void
 Histogram::sample(double v)
 {
+    // NaN would poison the sum and make the bucket index undefined:
+    // drop it, visibly.
+    if (std::isnan(v)) {
+        ++nanDropped_;
+        return;
+    }
+    // Negative samples clamp into bucket 0 (a negative value cast to
+    // size_t would index an arbitrary bucket).
     if (v < 0.0)
         v = 0.0;
-    auto idx = static_cast<std::size_t>(v / width_);
-    if (idx >= buckets_.size())
-        idx = buckets_.size() - 1;
+    // Compare before the cast: +inf and anything past the last bucket
+    // clamp into it without ever casting an out-of-range double.
+    const double top = width_ * static_cast<double>(buckets_.size());
+    const std::size_t idx = v >= top
+        ? buckets_.size() - 1
+        : static_cast<std::size_t>(v / width_);
     ++buckets_[idx];
     ++samples_;
     sum_ += v;
@@ -38,6 +53,38 @@ Histogram::reset()
         b = 0;
     samples_ = 0;
     sum_ = 0.0;
+    nanDropped_ = 0;
+}
+
+void
+Histogram::snapshot(serial::Encoder &enc) const
+{
+    enc.u64(buckets_.size());
+    enc.f64(width_);
+    enc.u64(samples_);
+    enc.f64(sum_);
+    enc.u64(nanDropped_);
+    enc.u64Vec(buckets_);
+}
+
+void
+Histogram::restore(serial::Decoder &dec)
+{
+    const std::uint64_t count = dec.u64();
+    const double width = dec.f64();
+    if (count != buckets_.size() || width != width_) {
+        throw IoError("histogram snapshot bucket configuration mismatch");
+    }
+    const std::uint64_t samples = dec.u64();
+    const double sum = dec.f64();
+    const std::uint64_t nan_dropped = dec.u64();
+    std::vector<std::uint64_t> buckets = dec.u64Vec();
+    if (buckets.size() != buckets_.size())
+        throw IoError("histogram snapshot truncated");
+    buckets_ = std::move(buckets);
+    samples_ = samples;
+    sum_ = sum;
+    nanDropped_ = nan_dropped;
 }
 
 StatGroup::StatGroup(std::string name) : name_(std::move(name))
@@ -67,7 +114,26 @@ std::uint64_t
 StatGroup::counterValue(const std::string &name) const
 {
     auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second.value();
+    if (it == counters_.end()) {
+        throw StatError("stat group '" + name_ + "' has no counter '" +
+                        name + "'");
+    }
+    return it->second.value();
+}
+
+std::optional<std::uint64_t>
+StatGroup::tryCounterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        return std::nullopt;
+    return it->second.value();
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters_.find(name) != counters_.end();
 }
 
 void
@@ -87,7 +153,74 @@ StatGroup::dump(std::ostream &os) const
     for (const auto &[name, h] : histograms_) {
         os << name_ << '.' << name << ".count " << h.count() << '\n';
         os << name_ << '.' << name << ".mean " << h.mean() << '\n';
+        if (h.nanDropped() > 0) {
+            os << name_ << '.' << name << ".nan_dropped "
+               << h.nanDropped() << '\n';
+        }
     }
+}
+
+void
+StatGroup::snapshot(serial::Encoder &enc) const
+{
+    enc.str(name_);
+    enc.u64(counters_.size());
+    for (const auto &[name, c] : counters_) {
+        enc.str(name);
+        enc.u64(c.value());
+    }
+    enc.u64(histograms_.size());
+    for (const auto &[name, h] : histograms_) {
+        enc.str(name);
+        h.snapshot(enc);
+    }
+}
+
+void
+StatGroup::restore(serial::Decoder &dec)
+{
+    const std::string name = dec.str();
+    if (name != name_) {
+        throw IoError("stat snapshot is for group '" + name +
+                      "', not '" + name_ + "'");
+    }
+
+    // Decode fully before mutating so a truncated snapshot leaves the
+    // group unchanged.
+    const std::uint64_t num_counters = dec.u64();
+    std::map<std::string, Counter> counters;
+    for (std::uint64_t i = 0; i < num_counters; ++i) {
+        const std::string cname = dec.str();
+        Counter c;
+        c += dec.u64();
+        counters.emplace(cname, c);
+    }
+
+    const std::uint64_t num_histograms = dec.u64();
+    std::map<std::string, Histogram> histograms;
+    for (std::uint64_t i = 0; i < num_histograms; ++i) {
+        const std::string hname = dec.str();
+        // Peek the configuration so the restored histogram matches.
+        auto it = histograms_.find(hname);
+        Histogram h = it != histograms_.end()
+            ? Histogram(it->second.bucketCount(), it->second.bucketWidth())
+            : Histogram();
+        if (it == histograms_.end()) {
+            // Unknown histogram: rebuild it with the snapshot's own
+            // configuration by decoding twice (first pass learns it).
+            serial::Decoder probe = dec;
+            const std::uint64_t count = probe.u64();
+            const double width = probe.f64();
+            if (count == 0 || count > (1u << 20) || !(width > 0.0))
+                throw IoError("histogram snapshot config is implausible");
+            h = Histogram(static_cast<std::size_t>(count), width);
+        }
+        h.restore(dec);
+        histograms.emplace(hname, std::move(h));
+    }
+
+    counters_ = std::move(counters);
+    histograms_ = std::move(histograms);
 }
 
 } // namespace hllc

@@ -4,7 +4,9 @@
  *
  * A StatGroup owns named scalar counters and histograms. Subsystems expose
  * their group so experiments can dump everything uniformly; tests can read
- * individual stats by name.
+ * individual stats by name. Groups serialise through common/serialize.hh
+ * so counter state survives checkpoint/resume (a resumed run dumps the
+ * same totals as an uninterrupted one).
  */
 
 #ifndef HLLC_COMMON_STATS_HH
@@ -12,9 +14,16 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
+
+namespace hllc::serial
+{
+class Encoder;
+class Decoder;
+} // namespace hllc::serial
 
 namespace hllc
 {
@@ -46,7 +55,10 @@ class Histogram
      */
     Histogram(std::size_t bucket_count = 16, double bucket_width = 1.0);
 
-    /** Record one sample. */
+    /**
+     * Record one sample. Negative values clamp into bucket 0; NaN is
+     * dropped (counted by nanDropped(), not by count()).
+     */
     void sample(double v);
 
     std::uint64_t count() const { return samples_; }
@@ -55,13 +67,24 @@ class Histogram
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
     std::size_t bucketCount() const { return buckets_.size(); }
     double bucketWidth() const { return width_; }
+    /** NaN samples dropped instead of recorded. */
+    std::uint64_t nanDropped() const { return nanDropped_; }
     void reset();
+
+    /** Serialise configuration and contents. */
+    void snapshot(serial::Encoder &enc) const;
+    /**
+     * Restore state written by snapshot(); throws IoError when the
+     * bucket configuration does not match this histogram's.
+     */
+    void restore(serial::Decoder &dec);
 
   private:
     std::vector<std::uint64_t> buckets_;
     double width_;
     std::uint64_t samples_ = 0;
     double sum_ = 0.0;
+    std::uint64_t nanDropped_ = 0;
 };
 
 /**
@@ -81,8 +104,30 @@ class StatGroup
                          std::size_t bucket_count = 16,
                          double bucket_width = 1.0);
 
-    /** Value of the counter @p name; 0 if it was never created. */
+    /**
+     * Value of the counter @p name. Throws StatError when no counter of
+     * that name was ever registered — a silent 0 would hide the typo.
+     * Probe with tryCounterValue()/hasCounter() when absence is valid.
+     */
     std::uint64_t counterValue(const std::string &name) const;
+
+    /** Value of counter @p name, or nullopt if it was never created. */
+    std::optional<std::uint64_t>
+    tryCounterValue(const std::string &name) const;
+
+    /** Whether a counter named @p name exists. */
+    bool hasCounter(const std::string &name) const;
+
+    /** All counters, in name order (exporters iterate this). */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    /** All histograms, in name order. */
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
 
     /** Zero every stat in the group. */
     void resetAll();
@@ -91,6 +136,15 @@ class StatGroup
     void dump(std::ostream &os) const;
 
     const std::string &name() const { return name_; }
+
+    /**
+     * Serialise the group name and every stat. Restoring requires a
+     * group of the same name; counters/histograms absent from the
+     * snapshot are reset, ones absent from the group are created.
+     */
+    void snapshot(serial::Encoder &enc) const;
+    /** Restore state written by snapshot(); throws IoError on mismatch. */
+    void restore(serial::Decoder &dec);
 
   private:
     std::string name_;

@@ -13,9 +13,24 @@ namespace hllc::forecast
 namespace
 {
 
-/** Checkpoint container identity ("HLCK"). */
+/**
+ * Checkpoint container identity ("HLCK"). Version 2 added the "stat"
+ * (engine stats), "lstat" (LLC stats) and "mtrc" (metric series) chunks
+ * so a resumed run dumps/exports exactly what an uninterrupted one
+ * would. v1 checkpoints are rejected by the version range check and the
+ * run restarts from scratch — the documented fallback for any
+ * unreadable checkpoint.
+ */
 constexpr std::uint32_t checkpointMagic = 0x484c434b;
-constexpr std::uint32_t checkpointVersion = 1;
+constexpr std::uint32_t checkpointVersion = 2;
+
+/** Shape of the per-frame live-byte histogram series (64 B frames). */
+constexpr std::size_t frameLiveBuckets = 16;
+constexpr double frameLiveBucketBytes = 4.0;
+
+/** Shape of the engine's aging-step-length histogram. */
+constexpr std::size_t agingStepBuckets = 16;
+constexpr double agingStepBucketMonths = 1.0;
 
 } // anonymous namespace
 
@@ -30,7 +45,9 @@ PhaseAggregate
 replayAllTraces(const std::vector<const LlcTrace *> &traces,
                 hybrid::HybridLlc &llc,
                 const hierarchy::TimingParams &timing,
-                double warmup_fraction)
+                double warmup_fraction,
+                const replay::TraceReplayer::IntervalCallback &on_interval,
+                std::size_t num_intervals)
 {
     TraceReplayer replayer(warmup_fraction);
     const double measured_frac = 1.0 - warmup_fraction;
@@ -40,7 +57,8 @@ replayAllTraces(const std::vector<const LlcTrace *> &traces,
     std::size_t ipc_count = 0;
 
     for (const LlcTrace *trace : traces) {
-        const replay::ReplayResult res = replayer.replay(*trace, llc);
+        const replay::ReplayResult res =
+            replayer.replay(*trace, llc, on_interval, num_intervals);
 
         double trace_cycles = 0.0;
         for (std::size_t c = 0; c < traceCores; ++c) {
@@ -94,8 +112,15 @@ ForecastEngine::ForecastEngine(const fault::EnduranceModel &endurance,
                                const hierarchy::TimingParams &timing,
                                const ForecastConfig &config)
     : endurance_(endurance), llcConfig_(llc_config),
-      traces_(std::move(traces)), timing_(timing), config_(config)
+      traces_(std::move(traces)), timing_(timing), config_(config),
+      stats_("forecast")
 {
+    // Pre-register so lookups of legitimately-zero counters resolve.
+    stats_.counter("simulate_phases");
+    stats_.counter("predict_phases");
+    stats_.histogram("aging_step_months", agingStepBuckets,
+                     agingStepBucketMonths);
+
     HLLC_ASSERT(!traces_.empty(), "forecast needs at least one trace");
     if (llcConfig_.nvmWays > 0) {
         HLLC_ASSERT(endurance_.geometry().numSets == llcConfig_.numSets &&
@@ -107,9 +132,10 @@ ForecastEngine::ForecastEngine(const fault::EnduranceModel &endurance,
 ForecastPoint
 ForecastEngine::simulatePhase(hybrid::HybridLlc &llc,
                               fault::FaultMap &map,
-                              Seconds now, Seconds &window_seconds)
+                              Seconds now, Seconds &window_seconds,
+                              PhaseAggregate &agg_out)
 {
-    const PhaseAggregate agg = replayAllTraces(
+    const PhaseAggregate agg = agg_out = replayAllTraces(
         traces_, llc, timing_, config_.warmupFraction);
 
     // Pending wear covers the full replay (incl. warm-up); scale the
@@ -130,12 +156,67 @@ ForecastEngine::simulatePhase(hybrid::HybridLlc &llc,
 }
 
 void
+ForecastEngine::samplePoint(std::size_t step, const ForecastPoint &point,
+                            const PhaseAggregate &agg,
+                            const hybrid::HybridLlc &llc,
+                            const fault::FaultMap &map)
+{
+    // Every value sampled here is a pure function of the replayed trace
+    // and simulation state — never of wall clock or checkpoint cadence —
+    // so a resumed run's export stays byte-identical to an uninterrupted
+    // one.
+    metrics_.series("step").append(static_cast<double>(step));
+    metrics_.series("time_months").append(point.months());
+    metrics_.series("capacity").append(point.capacity);
+    metrics_.series("mean_ipc").append(point.meanIpc);
+    metrics_.series("hit_rate").append(point.hitRate);
+    metrics_.series("nvm_bytes_per_second")
+        .append(point.nvmBytesPerSecond);
+    metrics_.series("nvm_bytes_written")
+        .append(static_cast<double>(agg.nvmBytesWritten));
+    metrics_.series("cpth_winner")
+        .append(llc.dueling() != nullptr
+                    ? static_cast<double>(llc.dueling()->winner())
+                    : -1.0);
+
+    if (llcConfig_.nvmWays == 0) {
+        metrics_.series("live_frame_fraction").append(1.0);
+        return;
+    }
+
+    const std::uint32_t frames = map.geometry().numFrames();
+    metrics_.series("live_frame_fraction")
+        .append(frames == 0
+                    ? 1.0
+                    : 1.0 - static_cast<double>(map.deadFrames()) /
+                                static_cast<double>(frames));
+
+    // Wear-histogram snapshot: how many frames retain how many live
+    // bytes (the shape behind the capacity curve, fig 10 style).
+    std::vector<std::uint64_t> row(frameLiveBuckets, 0);
+    for (std::uint32_t f = 0; f < frames; ++f) {
+        const unsigned live = map.liveBytes(f);
+        std::size_t bucket = static_cast<std::size_t>(
+            static_cast<double>(live) / frameLiveBucketBytes);
+        if (bucket >= frameLiveBuckets)
+            bucket = frameLiveBuckets - 1;
+        ++row[bucket];
+    }
+    metrics_
+        .histogramSeries("frame_live_bytes", frameLiveBuckets,
+                         frameLiveBucketBytes)
+        .appendRow(std::move(row));
+}
+
+void
 ForecastEngine::saveCheckpoint(const std::string &path, std::size_t step,
                                Seconds now,
                                const std::vector<ForecastPoint> &series,
                                const fault::FaultMap &map,
                                const hybrid::HybridLlc &llc) const
 {
+    metrics::ScopedPhaseTimer timer(metrics::Phase::CheckpointWrite);
+
     serial::Container container;
 
     serial::Encoder &meta = container.add("meta");
@@ -161,6 +242,12 @@ ForecastEngine::saveCheckpoint(const std::string &path, std::size_t step,
     if (llc.dueling() != nullptr)
         llc.dueling()->snapshot(container.add("duel"));
 
+    // v2: stats and metric series ride along so a resumed run dumps and
+    // exports exactly what an uninterrupted one would.
+    stats_.snapshot(container.add("stat"));
+    llc.stats().snapshot(container.add("lstat"));
+    metrics_.snapshot(container.add("mtrc"));
+
     container.save(path, checkpointMagic, checkpointVersion);
 }
 
@@ -169,7 +256,7 @@ ForecastEngine::loadCheckpoint(const std::string &path,
                                fault::FaultMap &map,
                                hybrid::HybridLlc &llc,
                                std::vector<ForecastPoint> &series,
-                               Seconds &now) const
+                               Seconds &now)
 {
     const serial::Container container = serial::Container::load(
         path, checkpointMagic, checkpointVersion, checkpointVersion);
@@ -217,6 +304,12 @@ ForecastEngine::loadCheckpoint(const std::string &path,
         serial::Decoder duel = container.open("duel");
         llc.dueling()->restore(duel);
     }
+    serial::Decoder stat = container.open("stat");
+    stats_.restore(stat);
+    serial::Decoder lstat = container.open("lstat");
+    llc.stats().restore(lstat);
+    serial::Decoder mtrc = container.open("mtrc");
+    metrics_.restore(mtrc);
     series = std::move(restored);
     now = saved_now;
     return static_cast<std::size_t>(step);
@@ -240,6 +333,11 @@ ForecastEngine::run(const RunOptions &options)
     Seconds now = 0.0;
     std::size_t step0 = 0;
 
+    // Start from clean observability state; a successful resume
+    // overwrites it with the checkpointed series.
+    metrics_.clear();
+    stats_.resetAll();
+
     const bool checkpointing = !options.checkpointPath.empty();
     if (checkpointing && options.resume) {
         try {
@@ -257,6 +355,8 @@ ForecastEngine::run(const RunOptions &options)
             llc = std::make_unique<hybrid::HybridLlc>(
                 llcConfig_, llcConfig_.nvmWays > 0 ? map.get() : nullptr);
             series.clear();
+            metrics_.clear();
+            stats_.resetAll();
             now = 0.0;
             step0 = 0;
         }
@@ -296,7 +396,11 @@ ForecastEngine::run(const RunOptions &options)
 
         map->discardPending();
         Seconds window_seconds = 0.0;
-        series.push_back(simulatePhase(*llc, *map, now, window_seconds));
+        PhaseAggregate agg;
+        series.push_back(
+            simulatePhase(*llc, *map, now, window_seconds, agg));
+        ++stats_.counter("simulate_phases");
+        samplePoint(step, series.back(), agg, *llc, *map);
 
         const ForecastPoint &point = series.back();
         if (point.capacity <= config_.capacityFloor ||
@@ -312,6 +416,10 @@ ForecastEngine::run(const RunOptions &options)
         if (delta <= 0.0)
             break;
         map->age(delta / window_seconds);
+        ++stats_.counter("predict_phases");
+        stats_.histogram("aging_step_months", agingStepBuckets,
+                         agingStepBucketMonths)
+            .sample(delta / secondsPerMonth);
         now += delta;
     }
     return series;

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hh"
+#include "common/stats.hh"
 #include "fault/endurance.hh"
 #include "forecast/aging.hh"
 #include "hierarchy/timing.hh"
@@ -95,12 +97,20 @@ struct PhaseAggregate
  * Replay every trace in @p traces against @p llc and aggregate hit rate,
  * NVM bytes written and the timing-model IPC (mean over mixes and
  * cores). Wear is recorded in the LLC's fault map as a side effect.
+ *
+ * With @p on_interval set, each trace's measured window is split into
+ * @p num_intervals ranges and the callback fires at every boundary (see
+ * replay::TraceReplayer::replay) — the observability hook behind
+ * per-interval series exports.
  */
 PhaseAggregate
 replayAllTraces(const std::vector<const replay::LlcTrace *> &traces,
                 hybrid::HybridLlc &llc,
                 const hierarchy::TimingParams &timing,
-                double warmup_fraction);
+                double warmup_fraction,
+                const replay::TraceReplayer::IntervalCallback
+                    &on_interval = nullptr,
+                std::size_t num_intervals = 0);
 
 class ForecastEngine
 {
@@ -140,11 +150,30 @@ class ForecastEngine
     /** Mean IPC of the series' first point (fresh-cache performance). */
     static double initialIpc(const std::vector<ForecastPoint> &series);
 
+    /**
+     * Per-step time series sampled by run() (step index, capacity, IPC,
+     * hit rate, NVM write traffic, CPth winner, live-frame fraction and
+     * the per-frame live-byte histogram). Snapshot/restored through the
+     * checkpoint, so a resumed run exports the same series as an
+     * uninterrupted one. Valid after run() returns or throws.
+     */
+    const metrics::MetricRegistry &metrics() const { return metrics_; }
+
+    /** Engine-level stats (phase counts, aging-step histogram). */
+    const StatGroup &stats() const { return stats_; }
+
   private:
     /** One simulation phase; returns the sampled point (capacity at t). */
     ForecastPoint simulatePhase(hybrid::HybridLlc &llc,
                                 fault::FaultMap &map,
-                                Seconds now, Seconds &window_seconds);
+                                Seconds now, Seconds &window_seconds,
+                                PhaseAggregate &agg_out);
+
+    /** Append one forecast step's observability samples to metrics_. */
+    void samplePoint(std::size_t step, const ForecastPoint &point,
+                     const PhaseAggregate &agg,
+                     const hybrid::HybridLlc &llc,
+                     const fault::FaultMap &map);
 
     /** Persist the loop state at a step boundary (atomic container). */
     void saveCheckpoint(const std::string &path, std::size_t step,
@@ -156,19 +185,22 @@ class ForecastEngine
     /**
      * Restore loop state from @p path; returns the step index to resume
      * at. Throws IoError on corruption or configuration mismatch — the
-     * caller rebuilds fresh state in that case.
+     * caller rebuilds fresh state in that case. Restores metrics_ and
+     * stats_ along with the simulation state.
      */
     std::size_t loadCheckpoint(const std::string &path,
                                fault::FaultMap &map,
                                hybrid::HybridLlc &llc,
                                std::vector<ForecastPoint> &series,
-                               Seconds &now) const;
+                               Seconds &now);
 
     const fault::EnduranceModel &endurance_;
     hybrid::HybridLlcConfig llcConfig_;
     std::vector<const replay::LlcTrace *> traces_;
     hierarchy::TimingParams timing_;
     ForecastConfig config_;
+    metrics::MetricRegistry metrics_;
+    StatGroup stats_;
 };
 
 } // namespace hllc::forecast

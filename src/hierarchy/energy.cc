@@ -9,16 +9,19 @@ llcEnergy(const StatGroup &llc_stats, std::uint32_t sram_ways,
 {
     EnergyBreakdown e;
 
+    // The group may come from a partial model (SRAM-only LLC, ad-hoc
+    // groups in tests) where some counters legitimately never existed,
+    // so probe instead of the throwing counterValue().
+    const auto value = [&](const char *name) {
+        return llc_stats.tryCounterValue(name).value_or(0);
+    };
     const auto sram_reads =
-        llc_stats.counterValue("gets_hits_sram") +
-        llc_stats.counterValue("getx_hits_sram");
+        value("gets_hits_sram") + value("getx_hits_sram");
     const auto nvm_reads =
-        llc_stats.counterValue("gets_hits_nvm") +
-        llc_stats.counterValue("getx_hits_nvm");
-    const auto sram_fills = llc_stats.counterValue("inserts_sram");
-    const auto nvm_bytes = llc_stats.counterValue("nvm_bytes_written");
-    const auto misses = llc_stats.counterValue("gets_misses") +
-                        llc_stats.counterValue("getx_misses");
+        value("gets_hits_nvm") + value("getx_hits_nvm");
+    const auto sram_fills = value("inserts_sram");
+    const auto nvm_bytes = value("nvm_bytes_written");
+    const auto misses = value("gets_misses") + value("getx_misses");
 
     e.sramDynamic =
         static_cast<double>(sram_reads) * params.sramReadNj +

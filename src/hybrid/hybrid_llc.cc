@@ -1,10 +1,59 @@
 #include "hybrid/hybrid_llc.hh"
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "compression/encoding.hh"
 
 namespace hllc::hybrid
 {
+
+namespace
+{
+
+/**
+ * Every counter the LLC can ever bump. Pre-registering them in the
+ * constructor means a counter that legitimately stays at zero (e.g. no
+ * bypasses this run) still exists, so StatGroup::counterValue can treat
+ * an unknown name as the error it is instead of silently returning 0.
+ */
+constexpr const char *llcCounterNames[] = {
+    "aged_out",
+    "bypasses",
+    "evictions_nvm",
+    "evictions_sram",
+    "gets",
+    "gets_hits_nvm",
+    "gets_hits_sram",
+    "gets_misses",
+    "getx",
+    "getx_hits_nvm",
+    "getx_hits_sram",
+    "getx_misses",
+    "inplace_updates",
+    "ins_none_clean",
+    "ins_none_dirty",
+    "ins_read_clean",
+    "ins_read_dirty",
+    "ins_write_clean",
+    "ins_write_dirty",
+    "insert_nvm_fallback_sram",
+    "inserts_nvm",
+    "inserts_sram",
+    "invalidate_on_getx",
+    "migrations_to_nvm",
+    "nvm_bytes_none_clean",
+    "nvm_bytes_none_dirty",
+    "nvm_bytes_read",
+    "nvm_bytes_write_reuse",
+    "nvm_bytes_written",
+    "nvm_writes",
+    "puts_clean",
+    "puts_dirty",
+    "puts_present",
+    "writebacks_dirty",
+};
+
+} // namespace
 
 HybridLlc::HybridLlc(const HybridLlcConfig &config,
                      fault::FaultMap *fault_map)
@@ -39,6 +88,9 @@ HybridLlc::HybridLlc(const HybridLlcConfig &config,
             config.epochCycles, policy_->thPercent(),
             policy_->twPercent());
     }
+
+    for (const char *name : llcCounterNames)
+        stats_.counter(name);
 }
 
 unsigned
@@ -74,6 +126,8 @@ int
 HybridLlc::victimWay(std::uint32_t set, std::uint32_t begin,
                      std::uint32_t end, unsigned ecb)
 {
+    metrics::ScopedPhaseTimer timer(metrics::Phase::Replacement);
+
     // Empty frames with enough capacity first...
     for (std::uint32_t w = begin; w < end; ++w) {
         if (!line(set, w).valid &&

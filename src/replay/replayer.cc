@@ -16,7 +16,9 @@ TraceReplayer::TraceReplayer(double warmup_fraction)
 }
 
 ReplayResult
-TraceReplayer::replay(const LlcTrace &trace, hybrid::HybridLlc &llc) const
+TraceReplayer::replay(const LlcTrace &trace, hybrid::HybridLlc &llc,
+                      const IntervalCallback &on_interval,
+                      std::size_t num_intervals) const
 {
     llc.reset();
     llc.resetStats();
@@ -27,6 +29,17 @@ TraceReplayer::replay(const LlcTrace &trace, hybrid::HybridLlc &llc) const
     const auto &events = trace.events();
     const std::size_t warmup_end = static_cast<std::size_t>(
         warmupFraction_ * static_cast<double>(events.size()));
+
+    // Interval boundaries split the measured window into equal event
+    // ranges (the final boundary is exactly the last measured event, so
+    // the last snapshot carries the replay totals).
+    const std::size_t measured = events.size() - warmup_end;
+    const bool sampling =
+        on_interval && num_intervals > 0 && measured > 0;
+    std::size_t next_interval = 0;
+    const auto boundary = [&](std::size_t k) {
+        return warmup_end + ((k + 1) * measured) / num_intervals;
+    };
 
     std::uint64_t nvm_writes_at_measure_start = 0;
     std::uint64_t nvm_bytes_at_measure_start = 0;
@@ -70,6 +83,21 @@ TraceReplayer::replay(const LlcTrace &trace, hybrid::HybridLlc &llc) const
                 core.nvmWrites += writes - nvm_writes_at_measure_start;
             }
             nvm_writes_at_measure_start = writes;
+        }
+
+        // With more intervals than events several boundaries coincide;
+        // the loop emits every one of them (as empty intervals).
+        while (sampling && next_interval < num_intervals &&
+               i + 1 == boundary(next_interval)) {
+            IntervalSnapshot snap;
+            snap.interval = next_interval;
+            snap.measuredEvents = result.measuredEvents;
+            snap.demandAccesses = llc.demandAccesses();
+            snap.demandHits = llc.demandHits();
+            snap.nvmWrites = llc.stats().counterValue("nvm_writes");
+            snap.nvmBytesWritten = llc.nvmBytesWritten();
+            on_interval(snap);
+            ++next_interval;
         }
     }
 

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 
 #include "hybrid/hybrid_llc.hh"
 #include "replay/llc_trace.hh"
@@ -44,9 +45,30 @@ struct ReplayResult
     double warmupFraction = 0.0;
 };
 
+/**
+ * Cumulative measured-window state at one interval boundary of a replay
+ * (observability export: per-interval IPC/hit-rate/NVM-write series).
+ * All values count from the end of warm-up up to the boundary, so the
+ * caller derives per-interval values by differencing consecutive
+ * snapshots. Purely a function of the trace and the LLC configuration —
+ * never of wall clock — so emitted series are deterministic.
+ */
+struct IntervalSnapshot
+{
+    std::size_t interval = 0;          //!< 0-based interval index
+    std::uint64_t measuredEvents = 0;  //!< events since warm-up end
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandHits = 0;
+    std::uint64_t nvmWrites = 0;
+    std::uint64_t nvmBytesWritten = 0;
+};
+
 class TraceReplayer
 {
   public:
+    /** Observer invoked at each interval boundary during replay(). */
+    using IntervalCallback = std::function<void(const IntervalSnapshot &)>;
+
     /**
      * @param warmup_fraction prefix of the trace replayed but excluded
      *        from the returned statistics
@@ -57,8 +79,15 @@ class TraceReplayer
      * Replay @p trace against @p llc. Resets the LLC's contents and stats
      * first (dueling state and fault-map wear persist). Wear recorded in
      * the fault map covers the whole replay including warm-up.
+     *
+     * When @p on_interval is set, the measured window is split into
+     * @p num_intervals equal event ranges and the callback fires once at
+     * the end of each with cumulative counts (the last snapshot equals
+     * the replay totals).
      */
-    ReplayResult replay(const LlcTrace &trace, hybrid::HybridLlc &llc) const;
+    ReplayResult replay(const LlcTrace &trace, hybrid::HybridLlc &llc,
+                        const IntervalCallback &on_interval = nullptr,
+                        std::size_t num_intervals = 0) const;
 
   private:
     double warmupFraction_;

@@ -4,6 +4,8 @@
 
 #include "common/interrupt.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/numfmt.hh"
 #include "common/thread_pool.hh"
 #include "hierarchy/hierarchy.hh"
 #include "sim/grid.hh"
@@ -84,6 +86,9 @@ Experiment::runForecast(const hybrid::HybridLlcConfig &llc,
     summary.lifetimeMonths =
         ForecastEngine::lifetimeMonths(summary.series, fc.capacityFloor);
     summary.initialIpc = ForecastEngine::initialIpc(summary.series);
+    summary.metrics = engine.metrics();
+    for (const auto &[name, c] : engine.stats().counters())
+        summary.counters.emplace_back(name, c.value());
     return summary;
 }
 
@@ -114,8 +119,15 @@ Experiment::runPhase(const hybrid::HybridLlcConfig &llc, std::string label,
     summary.label = std::move(label);
     summary.aggregate =
         forecast::replayAllTraces(traces, cache, config_.timing, 0.2);
-    if (cache.dueling() != nullptr)
+    if (cache.dueling() != nullptr) {
         summary.winnerHistory = cache.dueling()->winnerHistory();
+        metrics::TimeSeries &winners =
+            summary.metrics.series("cpth_winner_history");
+        for (unsigned w : summary.winnerHistory)
+            winners.append(static_cast<double>(w));
+    }
+    for (const auto &[name, c] : cache.stats().counters())
+        summary.counters.emplace_back(name, c.value());
     return summary;
 }
 
@@ -176,9 +188,9 @@ printConfigHeader(const SystemConfig &config, const std::string &experiment)
 std::string
 fmt(double value, int decimals)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
-    return buf;
+    // std::to_chars, not snprintf: %f honours the process locale, and a
+    // de_DE decimal comma would corrupt machine-read bench output.
+    return formatFixed(value, decimals);
 }
 
 int
@@ -191,11 +203,82 @@ ForecastGridOutcome::exitCode() const
     return failures.empty() ? 0 : 1;
 }
 
+namespace
+{
+
+/** Build the stats-file cells of a forecast study (metrics borrowed). */
+std::vector<metrics::CellExport>
+forecastExportCells(const std::vector<ForecastSummary> &summaries,
+                    const SystemConfig &config, double upper)
+{
+    std::vector<metrics::CellExport> cells;
+    cells.reserve(summaries.size());
+    for (const ForecastSummary &summary : summaries) {
+        metrics::CellExport cell;
+        cell.label = summary.label;
+        cell.metrics = &summary.metrics;
+        cell.counters = summary.counters;
+        cell.scalars = {
+            { "lifetime_months", summary.lifetimeMonths },
+            { "lifetime_months_full_scale",
+              summary.lifetimeMonths * config.fullScaleFactor() },
+            { "initial_ipc", summary.initialIpc },
+            { "initial_ipc_normalized",
+              upper > 0 ? summary.initialIpc / upper : 0.0 },
+        };
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
+/** Print the phase-timing report to stderr when HLLC_TIMERS is on. */
+void
+reportPhaseTimers()
+{
+    const std::string report = metrics::PhaseTimers::report();
+    if (!report.empty())
+        std::fputs(report.c_str(), stderr);
+}
+
+} // anonymous namespace
+
+void
+exportPhaseStudy(const std::string &stats_out,
+                 const std::string &experiment_name,
+                 const std::vector<PhaseSummary> &summaries)
+{
+    if (stats_out.empty())
+        return;
+    std::vector<metrics::CellExport> cells;
+    cells.reserve(summaries.size());
+    for (const PhaseSummary &summary : summaries) {
+        metrics::CellExport cell;
+        cell.label = summary.label;
+        cell.metrics = &summary.metrics;
+        cell.counters = summary.counters;
+        const forecast::PhaseAggregate &agg = summary.aggregate;
+        cell.scalars = {
+            { "mean_ipc", agg.meanIpc },
+            { "hit_rate", agg.hitRate },
+            { "demand_accesses",
+              static_cast<double>(agg.demandAccesses) },
+            { "demand_hits", static_cast<double>(agg.demandHits) },
+            { "nvm_bytes_written",
+              static_cast<double>(agg.nvmBytesWritten) },
+            { "measured_seconds", agg.measuredSeconds },
+        };
+        cells.push_back(std::move(cell));
+    }
+    metrics::writeStatsFile(stats_out, cells, experiment_name);
+    inform("wrote stats to '%s'", stats_out.c_str());
+}
+
 int
 runAndPrintForecastStudy(const Experiment &experiment,
                          const std::vector<StudyEntry> &entries,
                          const forecast::ForecastConfig &fc,
-                         const CheckpointOptions &checkpoint)
+                         const CheckpointOptions &checkpoint,
+                         const std::string &stats_out)
 {
     const SystemConfig &config = experiment.config();
     const double upper = experiment.upperBoundIpc();
@@ -264,6 +347,14 @@ runAndPrintForecastStudy(const Experiment &experiment,
                         ? summary.lifetimeMonths / bh_lifetime
                         : 0.0);
     }
+
+    if (!stats_out.empty()) {
+        metrics::writeStatsFile(
+            stats_out, forecastExportCells(summaries, config, upper),
+            "forecast-study");
+        inform("wrote stats to '%s'", stats_out.c_str());
+    }
+    reportPhaseTimers();
 
     for (const CellFailure &failure : outcome.failures) {
         std::fprintf(stderr, "error: cell %zu (%s) failed: %s\n",

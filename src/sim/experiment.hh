@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "forecast/forecast.hh"
 #include "sim/config.hh"
 #include "workload/mixes.hh"
@@ -27,6 +28,10 @@ struct ForecastSummary
     std::vector<forecast::ForecastPoint> series;
     double lifetimeMonths = 0.0;  //!< months to 50% NVM capacity
     double initialIpc = 0.0;
+    /** Per-step observability series (see ForecastEngine::metrics()). */
+    metrics::MetricRegistry metrics;
+    /** Engine counters (phase counts), in name order. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
 /**
@@ -75,6 +80,13 @@ struct PhaseSummary
     forecast::PhaseAggregate aggregate;
     /** Per-epoch max-hits CPth winners (Set Dueling policies only). */
     std::vector<unsigned> winnerHistory;
+    /**
+     * Observability export: the winner history as the series
+     * "cpth_winner_history" (one sample per dueling epoch).
+     */
+    metrics::MetricRegistry metrics;
+    /** The replayed LLC's counters, in name order. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
 class Experiment
@@ -169,15 +181,36 @@ struct StudyEntry
  * should exit with the returned code. Cells that throw are reported to
  * stderr per cell while the remaining cells complete.
  *
+ * With @p stats_out set, the full study (per-cell scalar summary,
+ * engine counters, and every per-step series including the wear
+ * histogram) is additionally written to that .json/.csv file in the
+ * "hllc-stats-v1" schema. Exported values are pure functions of the
+ * simulated state, so a resumed run writes a byte-identical file to an
+ * uninterrupted one. Nothing is exported on interrupt.
+ *
  * @return the process exit code: 0 clean, 1 if any cell failed,
  *         128+signal when interrupted (see ForecastGridOutcome).
  */
 int runAndPrintForecastStudy(const Experiment &experiment,
                              const std::vector<StudyEntry> &entries,
                              const forecast::ForecastConfig &fc = {},
-                             const CheckpointOptions &checkpoint = {});
+                             const CheckpointOptions &checkpoint = {},
+                             const std::string &stats_out = {});
 
-/** Format months with two decimals (avoids iostream noise in benches). */
+/**
+ * Write a "hllc-stats-v1" stats file for a replay-phase study (the
+ * Fig. 6-9 benches): per-cell hit rate, mean IPC, NVM write traffic
+ * and the CPth winner-history series. No-op when @p stats_out is empty.
+ */
+void exportPhaseStudy(const std::string &stats_out,
+                      const std::string &experiment_name,
+                      const std::vector<PhaseSummary> &summaries);
+
+/**
+ * Format a number with fixed decimals. Locale-independent
+ * (std::to_chars): a de_DE setlocale() cannot turn the decimal point
+ * into a comma in bench output.
+ */
 std::string fmt(double value, int decimals = 3);
 
 } // namespace hllc::sim

@@ -1,6 +1,7 @@
 #include "sim/grid.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sys/stat.h>
 
@@ -62,6 +63,27 @@ parseCheckpointArgs(int argc, char **argv)
 }
 
 std::string
+parseStatsOutArg(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--stats-out") != 0)
+            continue;
+        if (i + 1 >= argc)
+            fatal("--stats-out requires a file path");
+        const std::string path = argv[i + 1];
+        const bool json = path.size() >= 5 &&
+            path.compare(path.size() - 5, 5, ".json") == 0;
+        const bool csv = path.size() >= 4 &&
+            path.compare(path.size() - 4, 4, ".csv") == 0;
+        if (!json && !csv)
+            fatal("--stats-out path '%s' must end in .json or .csv",
+                  path.c_str());
+        return path;
+    }
+    return "";
+}
+
+std::string
 checkpointCellPath(const CheckpointOptions &checkpoint, std::size_t index,
                    const std::string &label)
 {
@@ -106,6 +128,40 @@ struct CellOutcome
     bool interrupted = false;
 };
 
+/**
+ * Per-cell progress heartbeat on stderr (inform): long grids otherwise
+ * run silent for hours. Wall-clock only ever reaches the log, never the
+ * results, so stdout stays byte-identical for any jobs value.
+ */
+class CellHeartbeat
+{
+  public:
+    CellHeartbeat(const char *kind, std::size_t index, std::size_t total,
+                  const std::string &label)
+        : kind_(kind), index_(index), total_(total), label_(label),
+          start_(std::chrono::steady_clock::now())
+    {
+        inform("%s cell %zu/%zu (%s) started", kind_, index_ + 1, total_,
+               label_.c_str());
+    }
+
+    void done(const char *status)
+    {
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_).count();
+        inform("%s cell %zu/%zu (%s) %s after %.1fs", kind_, index_ + 1,
+               total_, label_.c_str(), status, seconds);
+    }
+
+  private:
+    const char *kind_;
+    std::size_t index_;
+    std::size_t total_;
+    std::string label_;
+    std::chrono::steady_clock::time_point start_;
+};
+
 } // anonymous namespace
 
 ForecastGridOutcome
@@ -134,17 +190,23 @@ runForecastGridCheckpointed(const Experiment &experiment,
                 run_options.checkpointEvery = checkpoint.every;
                 run_options.resume = checkpoint.resume;
             }
+            CellHeartbeat heartbeat("forecast", i, entries.size(),
+                                    entries[i].label);
             try {
                 out.summary = experiment.runForecast(
                     entries[i].llc, entries[i].label, fc, run_options);
+                heartbeat.done("finished");
             } catch (const InterruptedError &) {
                 out.interrupted = true;
+                heartbeat.done("interrupted");
             } catch (const std::exception &e) {
                 out.failed = true;
                 out.error = e.what();
+                heartbeat.done("failed");
             } catch (...) {
                 out.failed = true;
                 out.error = "unknown error";
+                heartbeat.done("failed");
             }
             return out;
         },
@@ -174,10 +236,13 @@ runPhaseGrid(const Experiment &experiment,
         cells.size(),
         [&](std::size_t i) {
             const PhaseCell &cell = cells[i];
-            return experiment.runPhase(
+            CellHeartbeat heartbeat("phase", i, cells.size(), cell.label);
+            PhaseSummary summary = experiment.runPhase(
                 cell.llc, cell.label, cell.capacity,
                 cell.mix == allMixes ? std::vector<const replay::LlcTrace *>{}
                                      : experiment.tracePtr(cell.mix));
+            heartbeat.done("finished");
+            return summary;
         },
         jobs);
 }

@@ -49,6 +49,13 @@ unsigned parseJobsArg(int argc, char **argv);
 CheckpointOptions parseCheckpointArgs(int argc, char **argv);
 
 /**
+ * Scan a bench/tool command line for `--stats-out FILE`; returns ""
+ * when absent. The file must end in .json or .csv (fatal() otherwise,
+ * so a typo fails before hours of simulation rather than after).
+ */
+std::string parseStatsOutArg(int argc, char **argv);
+
+/**
  * Checkpoint file of grid cell @p index labelled @p label under the
  * options' directory ("DIR/cell<i>_<label>.ckpt", label sanitised to
  * filename-safe characters).

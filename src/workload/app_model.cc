@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace hllc::workload
 {
@@ -118,7 +119,11 @@ AppModel::ecbSizeOf(Addr block)
         return it->second;
 
     const BlockData data = contentOf(block, 0);
-    const unsigned ecb = compressor_->ecbSize(data);
+    unsigned ecb;
+    {
+        metrics::ScopedPhaseTimer timer(metrics::Phase::Compression);
+        ecb = compressor_->ecbSize(data);
+    }
     ecbCache_.emplace(block, static_cast<std::uint8_t>(ecb));
     return ecb;
 }

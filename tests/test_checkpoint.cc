@@ -18,6 +18,7 @@
 
 #include "common/error.hh"
 #include "common/interrupt.hh"
+#include "common/metrics.hh"
 #include "common/rng.hh"
 #include "common/serialize.hh"
 #include "fault/wear_level.hh"
@@ -193,15 +194,27 @@ class KillResume : public ::testing::Test
   protected:
     static constexpr std::uint32_t kSets = 64;
 
-    void SetUp() override { clearInterrupt(); }
+    void SetUp() override
+    {
+        clearInterrupt();
+        // Per-test checkpoint file: the cases run concurrently under
+        // `ctest -j` and must not share paths.
+        path_ = std::string("/tmp/hllc_test_ckpt_") +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".bin";
+    }
     void TearDown() override
     {
         clearInterrupt();
         std::remove(path());
-        std::remove((std::string(path()) + ".tmp").c_str());
+        std::remove((path_ + ".tmp").c_str());
     }
 
-    static const char *path() { return "/tmp/hllc_test_ckpt.bin"; }
+    const char *path() const { return path_.c_str(); }
+
+    std::string path_;
 
     static const replay::LlcTrace &trace()
     {
@@ -236,6 +249,29 @@ class KillResume : public ::testing::Test
         ForecastEngine engine(model, config, { &trace() },
                               hierarchy::TimingParams{}, fc);
         return engine.run(options);
+    }
+
+    /**
+     * Like run(), but returns the engine's full observability export
+     * (metric series + engine counters as hllc-stats-v1 JSON) instead
+     * of the point series — the byte-identity target for stats.
+     */
+    static std::string
+    runExport(PolicyKind policy, const RunOptions &options)
+    {
+        const auto config = llcConfig(policy);
+        const fault::EnduranceModel model(
+            { kSets, 12, 64 }, { 1e8, 0.2 }, Xoshiro256StarStar(3));
+        ForecastConfig fc;
+        fc.maxSteps = 120;
+        ForecastEngine engine(model, config, { &trace() },
+                              hierarchy::TimingParams{}, fc);
+        engine.run(options);
+        metrics::CellExport cell;
+        cell.label = "cell";
+        cell.metrics = &engine.metrics();
+        metrics::appendCounters(cell, engine.stats());
+        return metrics::statsToJson({ cell }, "kill-resume");
     }
 
     static void
@@ -276,6 +312,29 @@ TEST_F(KillResume, ResumedRunIsByteIdentical)
     resume.resume = true;
     const auto resumed = run(PolicyKind::CpSd, resume);
     expectBitIdentical(resumed, reference);
+}
+
+TEST_F(KillResume, ResumedRunExportsIdenticalStats)
+{
+    // The observability layer rides in the checkpoint ("stat"/"lstat"/
+    // "mtrc" chunks): a run stopped mid-flight and resumed must export
+    // the very same stats document an uninterrupted run produces.
+    const std::string reference = runExport(PolicyKind::CpSd, {});
+    EXPECT_NE(reference.find("\"schema\": \"hllc-stats-v1\""),
+              std::string::npos);
+    EXPECT_NE(reference.find("\"simulate_phases\""), std::string::npos);
+    EXPECT_NE(reference.find("\"mean_ipc\""), std::string::npos);
+
+    RunOptions stop;
+    stop.checkpointPath = path();
+    stop.stopAfterSteps = 3;
+    runExport(PolicyKind::CpSd, stop);
+
+    RunOptions resume;
+    resume.checkpointPath = path();
+    resume.resume = true;
+    const std::string resumed = runExport(PolicyKind::CpSd, resume);
+    EXPECT_EQ(resumed, reference);
 }
 
 TEST_F(KillResume, TwoStagedStopsStillByteIdentical)
@@ -390,9 +449,19 @@ TEST_F(KillResume, InterruptWritesFinalCheckpointAndResumes)
 class CheckpointedGrid : public ::testing::Test
 {
   protected:
-    static const char *dir() { return "/tmp/hllc_test_ckpt_grid"; }
+    const char *dir() const { return dir_.c_str(); }
 
-    void SetUp() override { clearInterrupt(); }
+    void SetUp() override
+    {
+        clearInterrupt();
+        // Per-test checkpoint directory (see KillResume::SetUp).
+        dir_ = std::string("/tmp/hllc_test_ckpt_grid_") +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+    }
+
+    std::string dir_;
 
     void TearDown() override
     {
@@ -407,11 +476,11 @@ class CheckpointedGrid : public ::testing::Test
         ::rmdir(dir());
     }
 
-    static sim::CheckpointOptions
-    checkpoint(bool resume = false)
+    sim::CheckpointOptions
+    checkpoint(bool resume = false) const
     {
         sim::CheckpointOptions options;
-        options.dir = dir();
+        options.dir = dir_;
         options.resume = resume;
         return options;
     }

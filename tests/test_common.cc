@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <optional>
 #include <sstream>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -162,6 +165,42 @@ TEST(Stats, HistogramBucketsAndMean)
     EXPECT_EQ(h.count(), 0u);
 }
 
+TEST(Stats, HistogramClampsNegativeSamples)
+{
+    // Regression: negative samples used to index bucket_[-…] through
+    // the size_t cast. They belong in bucket 0, like any underflow.
+    Histogram h(4, 10.0);
+    h.sample(-3.0);
+    h.sample(-1e30);
+    h.sample(5.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.bucket(0), 3u);
+    EXPECT_EQ(h.nanDropped(), 0u);
+    // The clamp applies to the sum too: the mean matches the buckets.
+    EXPECT_DOUBLE_EQ(h.mean(), (0.0 + 0.0 + 5.0) / 3.0);
+}
+
+TEST(Stats, HistogramDropsNanAndClampsInfinity)
+{
+    Histogram h(4, 10.0);
+    h.sample(std::nan(""));
+    h.sample(-std::nan(""));
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.nanDropped(), 2u);
+
+    // +inf clamps into the last bucket, -inf into bucket 0; neither is
+    // dropped.
+    h.sample(std::numeric_limits<double>::infinity());
+    h.sample(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.nanDropped(), 2u);
+
+    h.reset();
+    EXPECT_EQ(h.nanDropped(), 0u);
+}
+
 TEST(Stats, GroupCreatesAndDumps)
 {
     StatGroup g("test");
@@ -169,7 +208,6 @@ TEST(Stats, GroupCreatesAndDumps)
     g.counter("b") += 7;
     EXPECT_EQ(g.counterValue("a"), 1u);
     EXPECT_EQ(g.counterValue("b"), 7u);
-    EXPECT_EQ(g.counterValue("missing"), 0u);
 
     std::ostringstream os;
     g.dump(os);
@@ -178,6 +216,19 @@ TEST(Stats, GroupCreatesAndDumps)
 
     g.resetAll();
     EXPECT_EQ(g.counterValue("b"), 0u);
+}
+
+TEST(Stats, UnknownCounterLookupThrows)
+{
+    // A silent 0 for a typo'd name poisons whole experiments; the
+    // throwing lookup pairs with tryCounterValue() for legal probes.
+    StatGroup g("test");
+    ++g.counter("a");
+    EXPECT_THROW(g.counterValue("missing"), StatError);
+    EXPECT_FALSE(g.hasCounter("missing"));
+    EXPECT_TRUE(g.hasCounter("a"));
+    EXPECT_EQ(g.tryCounterValue("missing"), std::nullopt);
+    EXPECT_EQ(g.tryCounterValue("a"), std::optional<std::uint64_t>(1u));
 }
 
 TEST(Logging, LevelsGate)

@@ -22,9 +22,20 @@ using namespace hllc;
 class TraceFile : public ::testing::Test
 {
   protected:
+    void SetUp() override
+    {
+        // Per-test path: cases run concurrently under `ctest -j`.
+        path_ = std::string("/tmp/hllc_test_trace_") +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".hlt";
+    }
     void TearDown() override { std::remove(path()); }
 
-    static const char *path() { return "/tmp/hllc_test_trace.hlt"; }
+    const char *path() const { return path_.c_str(); }
+
+    std::string path_;
 
     static replay::LlcTrace
     capture()

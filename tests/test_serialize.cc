@@ -183,13 +183,24 @@ TEST(ContainerFormat, EveryTruncationIsRejected)
 class FileRoundTrip : public ::testing::Test
 {
   protected:
+    void SetUp() override
+    {
+        // Per-test path: cases run concurrently under `ctest -j`.
+        path_ = std::string("/tmp/hllc_test_container_") +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".bin";
+    }
     void TearDown() override
     {
         std::remove(path());
-        std::remove((std::string(path()) + ".tmp").c_str());
+        std::remove((path_ + ".tmp").c_str());
     }
 
-    static const char *path() { return "/tmp/hllc_test_container.bin"; }
+    const char *path() const { return path_.c_str(); }
+
+    std::string path_;
 };
 
 TEST_F(FileRoundTrip, SaveLoadAndAtomicTempCleanup)
@@ -250,11 +261,22 @@ sampleTrace()
 class TraceCorpus : public ::testing::Test
 {
   protected:
+    void SetUp() override
+    {
+        // Per-test path: cases run concurrently under `ctest -j`.
+        path_ = std::string("/tmp/hllc_corpus_trace_") +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".hlt";
+    }
     void TearDown() override { std::remove(path()); }
 
-    static const char *path() { return "/tmp/hllc_corpus_trace.hlt"; }
+    const char *path() const { return path_.c_str(); }
 
-    static void
+    std::string path_;
+
+    void
     writeBytes(const std::vector<std::uint8_t> &bytes)
     {
         std::FILE *f = std::fopen(path(), "wb");
