@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The observable decision vocabulary two LLC implementations are
+ * compared over.
+ *
+ * A differential run records, for every trace event, the sequence of
+ * structural decisions the implementation took (evictions, fills,
+ * migrations, in-place updates, bypasses) plus the access outcome. Two
+ * implementations agree on an event iff their record sequences are
+ * identical — way indices included, since both sides are required to
+ * scan ways in ascending order and break LRU ties identically.
+ */
+
+#ifndef HLLC_CHECK_DECISION_HH
+#define HLLC_CHECK_DECISION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hybrid/hybrid_llc.hh"
+#include "hybrid/types.hh"
+
+namespace hllc::check
+{
+
+/** What one decision record describes. */
+enum class DecisionKind : std::uint8_t
+{
+    Evict,        //!< resident left the LLC (flag = dirty writeback)
+    Fill,         //!< block deposited into (set, way); flag = dirty
+    MigrateFree,  //!< SRAM way freed for a migration (block stays)
+    Relocate,     //!< resident outgrew its frame on a dirty Put
+    Inplace,      //!< dirty Put rewrote the resident copy in place
+    Bypass,       //!< insertion bypassed the LLC (flag = dirty)
+    Outcome       //!< access outcome of the event (way = outcome value)
+};
+
+/** One structural decision taken while handling one trace event. */
+struct DecisionRecord
+{
+    DecisionKind kind;
+    std::uint32_t set = 0;
+    std::int32_t way = -1;
+    Addr block = 0;
+    bool flag = false;   //!< dirty / writeback, per kind
+    bool nvm = false;
+    unsigned bytes = 0;  //!< stored size where applicable
+
+    bool operator==(const DecisionRecord &) const = default;
+};
+
+/** Human-readable rendering, e.g. "Evict set=3 way=5 blk=0x2a wb nvm". */
+std::string toString(const DecisionRecord &record);
+
+/** Render a whole per-event sequence, one record per line. */
+std::string toString(const std::vector<DecisionRecord> &records);
+
+/**
+ * LlcProbe that appends every decision of the instrumented HybridLlc to
+ * a caller-owned vector; the differential runner clears it per event.
+ */
+class RecordingProbe : public hybrid::LlcProbe
+{
+  public:
+    explicit RecordingProbe(std::vector<DecisionRecord> &out) : out_(out) {}
+
+    void
+    onEvict(std::uint32_t set, std::uint32_t way, Addr block,
+            bool writeback, bool nvm) override
+    {
+        out_.push_back({ DecisionKind::Evict, set,
+                         static_cast<std::int32_t>(way), block, writeback,
+                         nvm, 0 });
+    }
+    void
+    onFill(std::uint32_t set, std::uint32_t way, Addr block, bool dirty,
+           unsigned stored, bool nvm) override
+    {
+        out_.push_back({ DecisionKind::Fill, set,
+                         static_cast<std::int32_t>(way), block, dirty, nvm,
+                         stored });
+    }
+    void
+    onMigrateFree(std::uint32_t set, std::uint32_t way, Addr block) override
+    {
+        out_.push_back({ DecisionKind::MigrateFree, set,
+                         static_cast<std::int32_t>(way), block, false,
+                         false, 0 });
+    }
+    void
+    onRelocate(std::uint32_t set, std::uint32_t way, Addr block) override
+    {
+        out_.push_back({ DecisionKind::Relocate, set,
+                         static_cast<std::int32_t>(way), block, false,
+                         false, 0 });
+    }
+    void
+    onInplaceUpdate(std::uint32_t set, std::uint32_t way, Addr block,
+                    unsigned stored, bool nvm) override
+    {
+        out_.push_back({ DecisionKind::Inplace, set,
+                         static_cast<std::int32_t>(way), block, true, nvm,
+                         stored });
+    }
+    void
+    onBypass(Addr block, bool dirty) override
+    {
+        out_.push_back({ DecisionKind::Bypass, 0, -1, block, dirty, false,
+                         0 });
+    }
+
+  private:
+    std::vector<DecisionRecord> &out_;
+};
+
+/** Append the access-outcome record the runner adds after dispatch. */
+inline void
+appendOutcome(std::vector<DecisionRecord> &records,
+              hybrid::AccessOutcome outcome)
+{
+    records.push_back({ DecisionKind::Outcome, 0,
+                        static_cast<std::int32_t>(outcome), 0, false, false,
+                        0 });
+}
+
+} // namespace hllc::check
+
+#endif // HLLC_CHECK_DECISION_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Differential replay: drive two configurations of the simulator over
+ * the same trace and report the first event where they disagree.
+ *
+ * Four modes, one per class of bug:
+ *  - golden: fast HybridLlc vs. the GoldenLlc shadow model under a
+ *    degenerate configuration (logic bugs in the cache mechanics);
+ *  - rerun: the same configuration replayed twice (non-determinism:
+ *    uninitialised state, iteration-order dependence);
+ *  - jobs: a replay grid at jobs=1 vs. jobs=N (parallelism bugs);
+ *  - resume: a forecast run straight through vs. checkpointed, stopped
+ *    and resumed (checkpoint completeness bugs).
+ */
+
+#ifndef HLLC_CHECK_DIFFERENTIAL_HH
+#define HLLC_CHECK_DIFFERENTIAL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/golden_llc.hh"
+#include "replay/llc_trace.hh"
+
+namespace hllc::check
+{
+
+/**
+ * The degenerate configurations the golden model covers (pristine NVM
+ * always; see golden_llc.hh).
+ */
+enum class DegenerateMode
+{
+    Pristine,        //!< config as given, fresh fault map
+    CompressionOff,  //!< every event's ECB forced to 64 B
+    SramOnly         //!< all ways SRAM (nvmWays folded into sramWays)
+};
+
+std::string_view degenerateModeName(DegenerateMode mode);
+
+/** First point where the two sides of a differential run disagreed. */
+struct Divergence
+{
+    /** Index of the offending event; trace size for end-state checks. */
+    std::size_t eventIndex = 0;
+    /** The event being handled when the streams split. */
+    hybrid::LlcEvent event{};
+    /** Full context: set, CPth in force, both decision sequences. */
+    std::string description;
+};
+
+/** Outcome of one golden-model differential replay. */
+struct GoldenDiffResult
+{
+    std::optional<Divergence> divergence;
+    std::uint64_t eventsCompared = 0;
+
+    bool ok() const { return !divergence.has_value(); }
+};
+
+/** Apply @p mode to a configuration (SramOnly geometry fold). */
+hybrid::HybridLlcConfig
+degenerateConfig(hybrid::HybridLlcConfig config, DegenerateMode mode);
+
+/** Apply @p mode to one event (CompressionOff ECB flattening). */
+hybrid::LlcEvent
+degenerateEvent(hybrid::LlcEvent event, DegenerateMode mode);
+
+/**
+ * Replay @p trace against a fresh HybridLlc (pristine fault map) and a
+ * GoldenLlc under @p mode, comparing per-event decision streams, access
+ * outcomes, and the final tag stores and aggregate counters. @p golden
+ * carries the deliberate-bug knobs for mutation-testing the checker.
+ */
+GoldenDiffResult
+diffGolden(const replay::LlcTrace &trace, hybrid::HybridLlcConfig config,
+           DegenerateMode mode, GoldenOptions golden = {});
+
+/**
+ * Replay @p trace twice against two independently constructed LLCs of
+ * the same configuration; any decision-stream or end-state difference
+ * is returned as a description (std::nullopt = deterministic).
+ */
+std::optional<std::string>
+diffRerun(const replay::LlcTrace &trace,
+          const hybrid::HybridLlcConfig &config);
+
+/**
+ * Run a replay grid over @p configs at jobs=1 and jobs=@p jobs and
+ * compare the per-cell summaries, which the grid contract requires to
+ * be identical for any worker count.
+ */
+std::optional<std::string>
+diffJobs(const replay::LlcTrace &trace,
+         const std::vector<hybrid::HybridLlcConfig> &configs,
+         unsigned jobs);
+
+/**
+ * Run a short ForecastEngine loop straight through, then again stopped
+ * at the first step boundary and resumed from its checkpoint (written
+ * under @p checkpoint_dir), and compare the two time series point by
+ * point. The resumed series must be identical to the uninterrupted one.
+ */
+std::optional<std::string>
+diffResume(const replay::LlcTrace &trace,
+           const hybrid::HybridLlcConfig &config,
+           const std::string &checkpoint_dir);
+
+} // namespace hllc::check
+
+#endif // HLLC_CHECK_DIFFERENTIAL_HH

@@ -1,0 +1,264 @@
+#include "check/golden_compress.hh"
+
+#include <sstream>
+
+#include "compression/encoding.hh"
+
+namespace hllc::check
+{
+
+using compression::BdiCompressor;
+using compression::Ce;
+using compression::CeInfo;
+using compression::ceInfo;
+using compression::ceTable;
+
+namespace
+{
+
+std::optional<BlockData>
+fail(std::string *why, const std::string &message)
+{
+    if (why)
+        *why = message;
+    return std::nullopt;
+}
+
+/** Write the low @p k bytes of @p v little-endian at byte offset @p at. */
+void
+putLe(BlockData &data, std::size_t at, std::uint64_t v, unsigned k)
+{
+    for (unsigned b = 0; b < k; ++b)
+        data[at + b] = static_cast<std::uint8_t>(v >> (8 * b));
+}
+
+} // anonymous namespace
+
+std::optional<BlockData>
+referenceBdiDecode(Ce ce, std::span<const std::uint8_t> ecb,
+                   std::string *why)
+{
+    const CeInfo &info = ceInfo(ce);
+    if (ecb.size() != info.ecbBytes) {
+        std::ostringstream out;
+        out << "ECB image is " << ecb.size() << " B, " << info.name
+            << " requires " << info.ecbBytes << " B";
+        return fail(why, out.str());
+    }
+
+    BlockData data{};
+
+    if (ce == Ce::Uncompressed) {
+        for (std::size_t i = 0; i < blockBytes; ++i)
+            data[i] = ecb[i];
+        return data;
+    }
+
+    if (ecb[0] != static_cast<std::uint8_t>(ce))
+        return fail(why, "CE header byte does not name the encoding");
+
+    if (ce == Ce::Zeros)
+        return data;
+
+    if (ce == Ce::Rep8) {
+        for (std::size_t i = 0; i < blockBytes; ++i)
+            data[i] = ecb[1 + i % 8];
+        return data;
+    }
+
+    // Base-delta: value 0 is the stored base verbatim; value i >= 1 is
+    // base + delta_i mod 2^(8k), computed here as long-hand bytewise
+    // addition of the sign-extended delta — nothing shared with the
+    // production decoder's 64-bit arithmetic.
+    const unsigned k = info.baseBytes;
+    const unsigned d = info.deltaBytes;
+    const std::uint8_t *base = ecb.data() + 1;
+    for (unsigned b = 0; b < k; ++b)
+        data[b] = base[b];
+
+    std::size_t off = 1 + k;
+    for (unsigned i = 1; i < blockBytes / k; ++i, off += d) {
+        const std::uint8_t ext =
+            (ecb[off + d - 1] & 0x80) ? 0xff : 0x00;
+        unsigned carry = 0;
+        for (unsigned b = 0; b < k; ++b) {
+            const unsigned delta_byte = b < d ? ecb[off + b] : ext;
+            const unsigned sum = base[b] + delta_byte + carry;
+            data[i * k + b] = static_cast<std::uint8_t>(sum);
+            carry = sum >> 8;
+        }
+    }
+    return data;
+}
+
+std::optional<std::string>
+verifyBdiBlock(const BlockData &data)
+{
+    unsigned best_applicable = 0;
+    for (const CeInfo &info : ceTable()) {
+        if (!BdiCompressor::applicable(data, info.ce))
+            continue;
+        if (best_applicable == 0 || info.ecbBytes < best_applicable)
+            best_applicable = info.ecbBytes;
+
+        const std::vector<std::uint8_t> ecb =
+            BdiCompressor::encode(data, info.ce);
+        if (ecb.size() != info.ecbBytes) {
+            std::ostringstream out;
+            out << info.name << ": encode produced " << ecb.size()
+                << " B, table says " << info.ecbBytes << " B";
+            return out.str();
+        }
+
+        std::string why;
+        const std::optional<BlockData> ref =
+            referenceBdiDecode(info.ce, ecb, &why);
+        if (!ref) {
+            std::ostringstream out;
+            out << info.name << ": reference decode rejected the image: "
+                << why;
+            return out.str();
+        }
+        if (*ref != data) {
+            std::ostringstream out;
+            out << info.name
+                << ": reference decode does not restore the block";
+            return out.str();
+        }
+        if (BdiCompressor::decode(info.ce, ecb) != data) {
+            std::ostringstream out;
+            out << info.name
+                << ": production decode does not restore the block";
+            return out.str();
+        }
+    }
+
+    const compression::CompressionResult res = BdiCompressor::compress(data);
+    if (!BdiCompressor::applicable(data, res.ce))
+        return std::string("compress() chose an inapplicable encoding");
+    if (res.ecbBytes != ceInfo(res.ce).ecbBytes ||
+        res.cbBytes != ceInfo(res.ce).cbBytes) {
+        return std::string("compress() size fields disagree with the "
+                           "CE table");
+    }
+    if (res.ecbBytes < 2 || res.ecbBytes > blockBytes)
+        return std::string("compress() ECB size outside [2, 64]");
+    if (res.ecbBytes != best_applicable) {
+        std::ostringstream out;
+        out << "compress() picked " << ceInfo(res.ce).name << " ("
+            << res.ecbBytes << " B) but a " << best_applicable
+            << " B encoding applies";
+        return out.str();
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+verifyCompressorBlock(const compression::BlockCompressor &compressor,
+                      const BlockData &data)
+{
+    const std::string_view scheme =
+        compression::schemeName(compressor.scheme());
+    const unsigned size = compressor.ecbSize(data);
+    if (size < 2 || size > blockBytes) {
+        std::ostringstream out;
+        out << scheme << ": ecbSize " << size << " outside [2, 64]";
+        return out.str();
+    }
+
+    const std::vector<std::uint8_t> image = compressor.compress(data);
+    if (image.size() != size) {
+        std::ostringstream out;
+        out << scheme << ": image is " << image.size()
+            << " B but ecbSize said " << size << " B";
+        return out.str();
+    }
+    if (compressor.decompress(image) != data) {
+        std::ostringstream out;
+        out << scheme << ": decompress does not restore the block";
+        return out.str();
+    }
+    return std::nullopt;
+}
+
+std::vector<NamedBlock>
+boundaryBlocks()
+{
+    std::vector<NamedBlock> blocks;
+    const auto add = [&](std::string name, const BlockData &data) {
+        blocks.push_back({ std::move(name), data });
+    };
+
+    BlockData b{};
+    add("all-zero", b);
+
+    b.fill(0xff);
+    add("all-0xff", b);
+
+    b = {};
+    for (unsigned i = 0; i < blockBytes / 8; ++i)
+        putLe(b, i * 8, 0xdeadbeefcafebabeULL, 8);
+    add("rep8", b);
+
+    // Per-encoding delta bounds: value 0 (= the base) is zero, the rest
+    // alternate between the most negative and most positive delta a
+    // d-byte field can hold; the "-over" variant bumps one value a
+    // single step past the positive bound, so the encoding must NOT
+    // apply and compression falls through to the next wider delta.
+    struct Bd { Ce ce; unsigned k, d; };
+    const Bd kinds[] = {
+        { Ce::B8D1, 8, 1 }, { Ce::B8D2, 8, 2 }, { Ce::B8D3, 8, 3 },
+        { Ce::B8D4, 8, 4 }, { Ce::B8D5, 8, 5 }, { Ce::B8D6, 8, 6 },
+        { Ce::B8D7, 8, 7 }, { Ce::B4D1, 4, 1 }, { Ce::B4D2, 4, 2 },
+        { Ce::B4D3, 4, 3 }, { Ce::B2D1, 2, 1 },
+    };
+    for (const Bd &bd : kinds) {
+        const std::uint64_t bound = std::uint64_t{1} << (8 * bd.d - 1);
+        const std::uint64_t k_mask =
+            bd.k >= 8 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << (8 * bd.k)) - 1);
+
+        b = {};
+        for (unsigned i = 1; i < blockBytes / bd.k; ++i) {
+            const std::uint64_t v =
+                (i % 2 != 0) ? (bound - 1) : ((~bound + 1) & k_mask);
+            putLe(b, i * bd.k, v, bd.k);
+        }
+        add(std::string(ceInfo(bd.ce).name) + "-max-delta", b);
+
+        putLe(b, bd.k, bound & k_mask, bd.k); // one past the + bound
+        add(std::string(ceInfo(bd.ce).name) + "-delta-overflow", b);
+    }
+
+    // k == 8 wrap-around pair: INT64_MIN base, INT64_MAX values — the
+    // 64-bit subtractor wraps to delta -1, so B8D1 applies.
+    b = {};
+    putLe(b, 0, 0x8000000000000000ULL, 8);
+    for (unsigned i = 1; i < blockBytes / 8; ++i)
+        putLe(b, i * 8, 0x7fffffffffffffffULL, 8);
+    add("b8-wraparound-pair", b);
+
+    // One byte short of a value boundary: a lone trailing byte breaks
+    // Zeros / Rep8 and forces the delta path on the final value only.
+    b = {};
+    b[blockBytes - 1] = 0x01;
+    add("last-byte-one", b);
+
+    b.fill(0xff);
+    b[blockBytes - 1] = 0xfe;
+    add("last-byte-short", b);
+
+    b = {};
+    b[0] = 0x01; // nonzero base, zero tail
+    add("first-byte-one", b);
+
+    // Deterministic incompressible-ish pattern (no BDI encoding besides
+    // Uncompressed should survive the byte soup).
+    for (unsigned i = 0; i < blockBytes; ++i)
+        b[i] = static_cast<std::uint8_t>(i * 151 + 43);
+    add("byte-soup", b);
+
+    return blocks;
+}
+
+} // namespace hllc::check

@@ -1,0 +1,179 @@
+#include "check/manifest.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/serialize.hh"
+
+namespace hllc::check
+{
+
+namespace
+{
+
+constexpr const char *kHeader = "hllc-trace-manifest-v1";
+
+[[noreturn]] void
+malformed(const std::string &what)
+{
+    throw IoError("malformed trace manifest: " + what);
+}
+
+/**
+ * CRC32 of the trace's content, i.e. the file minus its trailing
+ * 4-byte container-CRC word. A CRC over the *whole* file would be the
+ * fixed CRC residue (0x2144df1c) for every well-formed container —
+ * appending a message's own CRC32 collapses the checksum to a
+ * length-independent constant — and would therefore detect nothing.
+ */
+std::uint32_t
+contentCrc(const std::vector<std::uint8_t> &bytes)
+{
+    const std::size_t n = bytes.size() >= 4 ? bytes.size() - 4 : 0;
+    return serial::crc32(bytes.data(), n);
+}
+
+std::uint64_t
+parseU64Field(const std::string &value, const std::string &key)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 0);
+    if (errno != 0 || end == value.c_str() || *end != '\0')
+        malformed("bad value '" + value + "' for " + key);
+    return v;
+}
+
+} // anonymous namespace
+
+std::string
+manifestPathFor(const std::string &trace_path)
+{
+    return trace_path + ".manifest";
+}
+
+TraceManifest
+computeManifest(const std::string &trace_path,
+                const replay::LlcTrace &trace)
+{
+    const std::vector<std::uint8_t> bytes =
+        serial::readFileBytes(trace_path);
+    TraceManifest m;
+    m.events = trace.size();
+    m.bytes = bytes.size();
+    m.crc32 = contentCrc(bytes);
+    m.mix = trace.meta().mixName;
+    return m;
+}
+
+std::string
+manifestToText(const TraceManifest &manifest)
+{
+    std::ostringstream out;
+    out << kHeader << "\n"
+        << "events " << manifest.events << "\n"
+        << "bytes " << manifest.bytes << "\n"
+        << "crc32 0x" << std::hex << manifest.crc32 << std::dec << "\n";
+    if (!manifest.mix.empty())
+        out << "mix " << manifest.mix << "\n";
+    if (manifest.hasSeed)
+        out << "seed " << manifest.seed << "\n";
+    return out.str();
+}
+
+TraceManifest
+parseManifest(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader)
+        malformed("missing '" + std::string(kHeader) + "' header");
+
+    TraceManifest m;
+    bool saw_events = false, saw_bytes = false, saw_crc = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const std::size_t space = line.find(' ');
+        if (space == std::string::npos)
+            malformed("line without a value: '" + line + "'");
+        const std::string key = line.substr(0, space);
+        const std::string value = line.substr(space + 1);
+        if (key == "events") {
+            m.events = parseU64Field(value, key);
+            saw_events = true;
+        } else if (key == "bytes") {
+            m.bytes = parseU64Field(value, key);
+            saw_bytes = true;
+        } else if (key == "crc32") {
+            m.crc32 =
+                static_cast<std::uint32_t>(parseU64Field(value, key));
+            saw_crc = true;
+        } else if (key == "mix") {
+            m.mix = value;
+        } else if (key == "seed") {
+            m.seed = parseU64Field(value, key);
+            m.hasSeed = true;
+        }
+        // Unknown keys are ignored: future fields stay backward-readable.
+    }
+    if (!saw_events || !saw_bytes || !saw_crc)
+        malformed("events/bytes/crc32 fields are required");
+    return m;
+}
+
+void
+saveManifest(const std::string &trace_path, const TraceManifest &manifest)
+{
+    const std::string text = manifestToText(manifest);
+    serial::writeFileAtomic(manifestPathFor(trace_path), text.data(),
+                            text.size());
+}
+
+std::optional<TraceManifest>
+loadManifest(const std::string &trace_path)
+{
+    std::vector<std::uint8_t> bytes;
+    try {
+        bytes = serial::readFileBytes(manifestPathFor(trace_path));
+    } catch (const IoError &) {
+        return std::nullopt; // no sidecar: legacy trace
+    }
+    return parseManifest(
+        std::string(reinterpret_cast<const char *>(bytes.data()),
+                    bytes.size()));
+}
+
+std::optional<std::string>
+verifyManifest(const std::string &trace_path,
+               const replay::LlcTrace &trace)
+{
+    const std::optional<TraceManifest> manifest = loadManifest(trace_path);
+    if (!manifest)
+        return std::nullopt;
+
+    const std::vector<std::uint8_t> bytes =
+        serial::readFileBytes(trace_path);
+    std::ostringstream out;
+    if (manifest->bytes != bytes.size()) {
+        out << trace_path << ": manifest declares " << manifest->bytes
+            << " B but the file holds " << bytes.size() << " B";
+        return out.str();
+    }
+    const std::uint32_t crc = contentCrc(bytes);
+    if (manifest->crc32 != crc) {
+        out << trace_path << ": manifest CRC32 0x" << std::hex
+            << manifest->crc32 << " != file CRC32 0x" << crc << std::dec;
+        return out.str();
+    }
+    if (manifest->events != trace.size()) {
+        out << trace_path << ": manifest declares " << manifest->events
+            << " events but the trace holds " << trace.size();
+        return out.str();
+    }
+    return std::nullopt;
+}
+
+} // namespace hllc::check

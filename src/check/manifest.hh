@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sidecar trace manifests: a small text file written next to every
+ * generated .hlt trace recording its event count, byte size and CRC32
+ * (plus capture provenance: mix name and seed). Replay tools verify the
+ * manifest before trusting a trace, so a truncated copy, a partial
+ * download or an accidental overwrite is caught before hours of
+ * simulation run against the wrong stream. A missing manifest is
+ * tolerated (legacy traces); a present-but-mismatching one is an error.
+ */
+
+#ifndef HLLC_CHECK_MANIFEST_HH
+#define HLLC_CHECK_MANIFEST_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "replay/llc_trace.hh"
+
+namespace hllc::check
+{
+
+/** Parsed contents of one "<trace>.manifest" sidecar. */
+struct TraceManifest
+{
+    std::uint64_t events = 0;  //!< LLC events in the trace
+    std::uint64_t bytes = 0;   //!< size of the .hlt file
+    /**
+     * CRC32 over the file minus its trailing 4-byte container-CRC
+     * word (a whole-file CRC is the fixed residue for any file that
+     * ends in its own CRC32, and so detects nothing).
+     */
+    std::uint32_t crc32 = 0;
+    std::string mix;           //!< capture mix name ("" when unknown)
+    std::uint64_t seed = 0;    //!< capture seed (meaningful iff hasSeed)
+    bool hasSeed = false;
+};
+
+/** Sidecar path of @p trace_path ("<trace_path>.manifest"). */
+std::string manifestPathFor(const std::string &trace_path);
+
+/**
+ * Compute the manifest of the trace stored at @p trace_path (reads the
+ * file for bytes/CRC32; @p trace supplies the event count and mix
+ * name). Throws IoError when the file cannot be read.
+ */
+TraceManifest computeManifest(const std::string &trace_path,
+                              const replay::LlcTrace &trace);
+
+/** Render @p manifest to its text form. */
+std::string manifestToText(const TraceManifest &manifest);
+
+/** Parse the text form; throws IoError on malformed input. */
+TraceManifest parseManifest(const std::string &text);
+
+/** Atomically write @p manifest next to @p trace_path. */
+void saveManifest(const std::string &trace_path,
+                  const TraceManifest &manifest);
+
+/**
+ * Load the sidecar of @p trace_path. Returns std::nullopt when no
+ * manifest exists; throws IoError when one exists but is malformed.
+ */
+std::optional<TraceManifest>
+loadManifest(const std::string &trace_path);
+
+/**
+ * Verify @p trace_path against its sidecar: byte size and CRC32 of the
+ * file on disk, then the event count of the loaded @p trace. Returns a
+ * mismatch description, or std::nullopt when the manifest matches or is
+ * absent.
+ */
+std::optional<std::string>
+verifyManifest(const std::string &trace_path,
+               const replay::LlcTrace &trace);
+
+} // namespace hllc::check
+
+#endif // HLLC_CHECK_MANIFEST_HH

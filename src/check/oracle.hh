@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Offline Belady/OPT hit-count oracle.
+ *
+ * A clairvoyant replacement policy (evict the resident whose next
+ * demand use is furthest in the future; bypass when the incoming block
+ * is needed later than every resident) upper-bounds the demand hits any
+ * online policy can score on the same trace. The oracle models the same
+ * protocol as the LLC — insert on Put, hit-and-invalidate on GetX, one
+ * block per way — with capacity totalWays blocks per set, which remains
+ * a sound bound for compressed configurations: compression shrinks the
+ * bytes a block occupies, never the one-block-per-way tag limit.
+ *
+ * hits(policy) <= hits(OPT) per set is the checkable consequence: any
+ * violation means the simulator manufactured hits out of thin air.
+ */
+
+#ifndef HLLC_CHECK_ORACLE_HH
+#define HLLC_CHECK_ORACLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hybrid/hybrid_llc.hh"
+#include "replay/llc_trace.hh"
+
+namespace hllc::check
+{
+
+/** Demand-hit counts of one trace, per set and in total. */
+struct OracleHits
+{
+    std::vector<std::uint64_t> perSet;
+    std::uint64_t total = 0;
+};
+
+/**
+ * Belady/OPT demand hits of @p trace on @p num_sets sets of
+ * @p ways_per_set one-block ways (greedy furthest-next-use with
+ * bypass, insert-on-Put, invalidate-on-GetX).
+ */
+OracleHits beladyHits(const replay::LlcTrace &trace,
+                      std::uint32_t num_sets, std::uint32_t ways_per_set);
+
+/**
+ * Replay @p trace against a fresh HybridLlc of @p config (pristine NVM)
+ * and check hits(policy) <= hits(OPT) for every set. Returns a
+ * description of the first violating set, or std::nullopt.
+ */
+std::optional<std::string>
+checkPolicyAgainstOracle(const replay::LlcTrace &trace,
+                         const hybrid::HybridLlcConfig &config);
+
+} // namespace hllc::check
+
+#endif // HLLC_CHECK_ORACLE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Structure-aware trace fuzzing with ddmin shrinking.
+ *
+ * The fuzzer generates and mutates .hlt event streams that respect the
+ * trace grammar (valid event types, ECB sizes in [2, 64], block numbers
+ * clustered on a small working set so sets actually conflict), runs
+ * short differential passes (golden diff across degenerate modes, with
+ * periodic rerun-determinism and Belady-bound passes) over a grid of
+ * policy configurations, and shrinks any failing trace to a minimal
+ * reproducer with delta debugging before reporting it.
+ */
+
+#ifndef HLLC_CHECK_TRACE_FUZZ_HH
+#define HLLC_CHECK_TRACE_FUZZ_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/differential.hh"
+#include "replay/llc_trace.hh"
+
+namespace hllc::check
+{
+
+/** Fuzzing-campaign controls. */
+struct FuzzConfig
+{
+    std::uint64_t seed = 1;           //!< campaign seed (deterministic)
+    double budgetSeconds = 60.0;      //!< wall-clock budget
+    std::size_t maxIterations = 0;    //!< hard cap; 0 = budget only
+    std::size_t eventsPerTrace = 4096;
+    std::uint32_t numSets = 32;       //!< small geometry = fast rounds
+    std::uint32_t sramWays = 4;
+    std::uint32_t nvmWays = 12;
+};
+
+/** One shrunken failure found by a campaign. */
+struct FuzzFailure
+{
+    std::string description;          //!< divergence at the shrunk trace
+    replay::LlcTrace reproducer;      //!< ddmin-minimal failing trace
+    hybrid::HybridLlcConfig config;   //!< configuration that failed
+    DegenerateMode mode = DegenerateMode::Pristine;
+    std::size_t iteration = 0;        //!< fuzz round that found it
+    std::size_t originalEvents = 0;   //!< trace size before shrinking
+};
+
+/** Outcome of one campaign. */
+struct FuzzReport
+{
+    std::size_t iterations = 0;
+    std::size_t tracesReplayed = 0;
+    std::optional<FuzzFailure> failure; //!< first failure (shrunk)
+
+    bool ok() const { return !failure.has_value(); }
+};
+
+/** Build an LlcTrace from an explicit event vector (fuzz/shrink glue). */
+replay::LlcTrace
+makeTrace(std::vector<hybrid::LlcEvent> events,
+          const std::string &mix_name = "fuzz");
+
+/**
+ * Generate a random grammar-respecting trace: @p events events over a
+ * working set a few times larger than the cache, mixed Get/Put types,
+ * ECB sizes biased towards the BDI encoding boundaries.
+ */
+replay::LlcTrace
+generateTrace(std::uint64_t seed, std::size_t events,
+              std::uint32_t num_sets);
+
+/**
+ * Structure-aware mutation of @p trace: a handful of random edits
+ * (type flips, duplications, deletions, block aliasing onto a hot set,
+ * ECB boundary values), each keeping the trace grammatically valid.
+ */
+replay::LlcTrace
+mutateTrace(const replay::LlcTrace &trace, std::uint64_t seed);
+
+/** Predicate deciding whether a candidate trace still fails. */
+using FailPredicate = std::function<bool(const replay::LlcTrace &)>;
+
+/**
+ * Delta-debugging (ddmin) shrink: the smallest event subsequence of
+ * @p trace for which @p fails stays true. @p fails(trace) must be true
+ * on entry. The result is 1-minimal: removing any single remaining
+ * event makes the failure disappear.
+ */
+replay::LlcTrace
+shrinkTrace(const replay::LlcTrace &trace, const FailPredicate &fails);
+
+/**
+ * Run a fuzzing campaign: generate/mutate traces, differential-check
+ * each against the policy × degenerate-mode grid until the budget is
+ * exhausted or a failure is found (which is then shrunk). @p golden
+ * carries the deliberate-bug knobs used to mutation-test this very
+ * machinery.
+ */
+FuzzReport fuzz(const FuzzConfig &config, GoldenOptions golden = {});
+
+} // namespace hllc::check
+
+#endif // HLLC_CHECK_TRACE_FUZZ_HH

@@ -176,6 +176,8 @@ HybridLlc::evict(std::uint32_t set, std::uint32_t way)
     ++stats_.counter(isNvmWay(way) ? "evictions_nvm" : "evictions_sram");
     if (l.dirty)
         ++stats_.counter("writebacks_dirty");
+    if (probe_)
+        probe_->onEvict(set, way, l.blockNum, l.dirty, isNvmWay(way));
     l.valid = false;
     l.dirty = false;
 }
@@ -226,6 +228,8 @@ HybridLlc::writeLine(std::uint32_t set, std::uint32_t way, Addr block,
     } else {
         ++stats_.counter("inserts_sram");
     }
+    if (probe_)
+        probe_->onFill(set, way, block, dirty, stored, isNvmWay(way));
 }
 
 void
@@ -251,6 +255,8 @@ HybridLlc::migrateToNvm(std::uint32_t set, std::uint32_t way)
     l.valid = false;
     l.dirty = false;
     ++stats_.counter("evictions_sram");
+    if (probe_)
+        probe_->onMigrateFree(set, way, block);
 
     evict(set, static_cast<std::uint32_t>(nvm_way));
     writeLine(set, static_cast<std::uint32_t>(nvm_way), block, dirty, ecb);
@@ -289,6 +295,8 @@ HybridLlc::insert(Addr block, bool dirty, unsigned ecb)
             ++stats_.counter("bypasses");
             if (dirty)
                 ++stats_.counter("writebacks_dirty");
+            if (probe_)
+                probe_->onBypass(block, dirty);
             return;
         }
         evict(set, static_cast<std::uint32_t>(way));
@@ -318,6 +326,8 @@ HybridLlc::insert(Addr block, bool dirty, unsigned ecb)
         ++stats_.counter("bypasses");
         if (dirty)
             ++stats_.counter("writebacks_dirty");
+        if (probe_)
+            probe_->onBypass(block, dirty);
         return;
     }
 
@@ -465,9 +475,14 @@ HybridLlc::onPut(Addr block, bool dirty, unsigned ecb_bytes)
                     dueling_->recordNvmBytes(set, stored);
             }
             ++stats_.counter("inplace_updates");
+            if (probe_)
+                probe_->onInplaceUpdate(set, uway, block, stored,
+                                        isNvmWay(uway));
             return;
         }
         // Grew past the frame's capacity: relocate.
+        if (probe_)
+            probe_->onRelocate(set, uway, block);
         l.valid = false;
         l.dirty = false;
     }

@@ -41,6 +41,59 @@ namespace hllc::hybrid
  */
 enum class ReplacementKind : std::uint8_t { Lru, Srrip };
 
+/**
+ * Observer of the LLC's per-event structural decisions (which resident
+ * was evicted, where a block landed, what was bypassed). The golden-model
+ * differential checker in src/check records this stream from both the
+ * fast LLC and its shadow reimplementation and compares them event by
+ * event; a null probe costs one pointer test per decision.
+ *
+ * Calls are emitted in program order within one handle() dispatch, so
+ * two implementations agree iff their decision sequences are identical.
+ */
+class LlcProbe
+{
+  public:
+    virtual ~LlcProbe() = default;
+
+    /** A resident was evicted; @p writeback = it left dirty. */
+    virtual void onEvict(std::uint32_t set, std::uint32_t way, Addr block,
+                         bool writeback, bool nvm)
+    {
+        (void)set; (void)way; (void)block; (void)writeback; (void)nvm;
+    }
+    /** A block was deposited into (set, way) occupying @p stored bytes. */
+    virtual void onFill(std::uint32_t set, std::uint32_t way, Addr block,
+                        bool dirty, unsigned stored, bool nvm)
+    {
+        (void)set; (void)way; (void)block; (void)dirty; (void)stored;
+        (void)nvm;
+    }
+    /** An SRAM way was freed for a migration (the block stays cached). */
+    virtual void onMigrateFree(std::uint32_t set, std::uint32_t way,
+                               Addr block)
+    {
+        (void)set; (void)way; (void)block;
+    }
+    /** A resident outgrew its frame on a dirty Put and is relocating. */
+    virtual void onRelocate(std::uint32_t set, std::uint32_t way,
+                            Addr block)
+    {
+        (void)set; (void)way; (void)block;
+    }
+    /** A dirty Put rewrote a resident copy in place. */
+    virtual void onInplaceUpdate(std::uint32_t set, std::uint32_t way,
+                                 Addr block, unsigned stored, bool nvm)
+    {
+        (void)set; (void)way; (void)block; (void)stored; (void)nvm;
+    }
+    /** An insertion bypassed the LLC entirely (no frame fits). */
+    virtual void onBypass(Addr block, bool dirty)
+    {
+        (void)block; (void)dirty;
+    }
+};
+
 /** Static configuration of one hybrid LLC instance. */
 struct HybridLlcConfig
 {
@@ -108,7 +161,23 @@ class HybridLlc
     SetDueling *dueling() { return dueling_.get(); }
     const ReuseTracker &tracker() const { return tracker_; }
     const fault::FaultMap *faultMap() const { return faultMap_; }
+    /** Read-only view of one tag-array entry (invariant checkers). */
+    struct LineView
+    {
+        Addr blockNum = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint8_t ecbBytes = 0;
+    };
+    LineView lineView(std::uint32_t set, std::uint32_t way) const
+    {
+        const Line &l = line(set, way);
+        return { l.blockNum, l.valid, l.dirty, l.ecbBytes };
+    }
     ///@}
+
+    /** Attach (or detach with nullptr) a decision-stream observer. */
+    void setProbe(LlcProbe *probe) { probe_ = probe; }
 
     /** @name Stats */
     ///@{
@@ -211,6 +280,7 @@ class HybridLlc
     HybridLlcConfig config_;
     std::unique_ptr<InsertionPolicy> policy_;
     fault::FaultMap *faultMap_;
+    LlcProbe *probe_ = nullptr;
     std::vector<Line> lines_;
     cache::LruState lru_;
     ReuseTracker tracker_;

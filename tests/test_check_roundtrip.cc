@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Compressor round-trip tests through the src/check reference
+ * decompressor: boundary payloads (all-zero, all-0xFF, per-encoding
+ * maximum deltas, deltas one past the representable bound, segments one
+ * byte short of a boundary) and randomized sweeps, for BDI against the
+ * independent reference decoder and for FPC/C-Pack against their own
+ * inverses plus the size-accounting contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/golden_compress.hh"
+#include "common/rng.hh"
+#include "compression/bdi.hh"
+#include "compression/compressor.hh"
+
+namespace
+{
+
+using namespace hllc;
+using compression::BlockCompressor;
+using compression::Scheme;
+
+TEST(RoundTrip, BoundaryBlocksThroughBdiReference)
+{
+    for (const check::NamedBlock &nb : check::boundaryBlocks()) {
+        const auto why = check::verifyBdiBlock(nb.data);
+        EXPECT_FALSE(why.has_value()) << nb.name << ": " << *why;
+    }
+}
+
+TEST(RoundTrip, BoundaryBlocksThroughFpcAndCpack)
+{
+    const auto fpc = BlockCompressor::create(Scheme::Fpc);
+    const auto cpack = BlockCompressor::create(Scheme::CPack);
+    for (const check::NamedBlock &nb : check::boundaryBlocks()) {
+        const auto why_fpc = check::verifyCompressorBlock(*fpc, nb.data);
+        EXPECT_FALSE(why_fpc.has_value()) << nb.name << ": " << *why_fpc;
+        const auto why_cpack =
+            check::verifyCompressorBlock(*cpack, nb.data);
+        EXPECT_FALSE(why_cpack.has_value())
+            << nb.name << ": " << *why_cpack;
+    }
+}
+
+TEST(RoundTrip, BoundaryBlocksCoverTheExpectedCases)
+{
+    const std::vector<check::NamedBlock> blocks = check::boundaryBlocks();
+    const auto has = [&](const std::string &name) {
+        for (const check::NamedBlock &nb : blocks) {
+            if (nb.name == name)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has("all-zero"));
+    EXPECT_TRUE(has("all-0xff"));
+    EXPECT_TRUE(has("B8D1-max-delta"));
+    EXPECT_TRUE(has("B8D1-delta-overflow"));
+    EXPECT_TRUE(has("last-byte-short"));
+    EXPECT_GE(blocks.size(), 20u);
+}
+
+TEST(RoundTrip, RandomBlocksSweep)
+{
+    const auto fpc = BlockCompressor::create(Scheme::Fpc);
+    const auto cpack = BlockCompressor::create(Scheme::CPack);
+    Xoshiro256StarStar rng(123);
+    for (int i = 0; i < 500; ++i) {
+        BlockData data{};
+        if (rng.nextBool(0.5)) {
+            for (std::uint8_t &b : data)
+                b = static_cast<std::uint8_t>(rng.nextBounded(256));
+        } else {
+            // Structured base + small deltas (the BDI sweet spot).
+            const std::uint64_t base = rng.next();
+            const unsigned k = 1u << (1 + rng.nextBounded(3));
+            const unsigned spread = 1 + rng.nextBounded(16);
+            for (std::size_t v = 0; v < blockBytes / k; ++v) {
+                const std::uint64_t value =
+                    base + rng.nextBounded(spread) - spread / 2;
+                for (unsigned b = 0; b < k; ++b) {
+                    data[v * k + b] =
+                        static_cast<std::uint8_t>(value >> (8 * b));
+                }
+            }
+        }
+        const auto why = check::verifyBdiBlock(data);
+        ASSERT_FALSE(why.has_value()) << "block " << i << ": " << *why;
+        const auto why_fpc = check::verifyCompressorBlock(*fpc, data);
+        ASSERT_FALSE(why_fpc.has_value())
+            << "block " << i << ": " << *why_fpc;
+        const auto why_cpack = check::verifyCompressorBlock(*cpack, data);
+        ASSERT_FALSE(why_cpack.has_value())
+            << "block " << i << ": " << *why_cpack;
+    }
+}
+
+TEST(ReferenceDecoder, RejectsMalformedImages)
+{
+    std::string why;
+    // Wrong payload size for the encoding.
+    const std::vector<std::uint8_t> short_image = {
+        static_cast<std::uint8_t>(compression::Ce::Zeros)
+    };
+    EXPECT_EQ(check::referenceBdiDecode(compression::Ce::B8D1,
+                                        short_image, &why),
+              std::nullopt);
+    EXPECT_FALSE(why.empty());
+
+    // Header byte names a different encoding than claimed.
+    std::vector<std::uint8_t> mislabeled(
+        compression::ceInfo(compression::Ce::Zeros).ecbBytes, 0);
+    mislabeled[0] = static_cast<std::uint8_t>(compression::Ce::Rep8);
+    EXPECT_EQ(check::referenceBdiDecode(compression::Ce::Zeros,
+                                        mislabeled, &why),
+              std::nullopt);
+}
+
+TEST(ReferenceDecoder, DecodesZerosAndRep8ByHand)
+{
+    // Hand-built images, not produced by the encoder under test.
+    const std::vector<std::uint8_t> zeros = {
+        static_cast<std::uint8_t>(compression::Ce::Zeros), 0
+    };
+    const auto z =
+        check::referenceBdiDecode(compression::Ce::Zeros, zeros);
+    ASSERT_TRUE(z.has_value());
+    for (std::uint8_t b : *z)
+        EXPECT_EQ(b, 0);
+
+    std::vector<std::uint8_t> rep8 = {
+        static_cast<std::uint8_t>(compression::Ce::Rep8),
+        0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88
+    };
+    const auto r = check::referenceBdiDecode(compression::Ce::Rep8, rep8);
+    ASSERT_TRUE(r.has_value());
+    for (std::size_t i = 0; i < blockBytes; ++i)
+        EXPECT_EQ((*r)[i], rep8[1 + i % 8]) << "byte " << i;
+}
+
+} // namespace

@@ -3,13 +3,16 @@
  * Cross-policy property tests: every insertion policy must uphold the
  * LLC's structural invariants under randomized event storms, with and
  * without pre-existing NVM faults — accounting identities, capacity
- * limits, fault-respecting placement and deterministic behaviour.
+ * limits, fault-respecting placement and deterministic behaviour. The
+ * invariants themselves live in src/check (checkAllInvariants), shared
+ * with the hllc_check differential/fuzz drivers.
  */
 
 #include <gtest/gtest.h>
 
 #include <memory>
 
+#include "check/invariants.hh"
 #include "hybrid/hybrid_llc.hh"
 
 namespace
@@ -99,30 +102,16 @@ TEST_P(PolicyStorm, InvariantsHoldUnderRandomTraffic)
     Rig rig = makeRig(policy, degraded);
     storm(*rig.llc, 42, 30'000);
 
-    const auto &stats = rig.llc->stats();
-    // Accounting identities.
-    EXPECT_EQ(stats.counterValue("gets"),
-              stats.counterValue("gets_hits_sram") +
-                  stats.counterValue("gets_hits_nvm") +
-                  stats.counterValue("gets_misses"));
-    EXPECT_EQ(stats.counterValue("getx"),
-              stats.counterValue("getx_hits_sram") +
-                  stats.counterValue("getx_hits_nvm") +
-                  stats.counterValue("getx_misses"));
+    // Structural, stats-accounting and wear-accounting invariants all
+    // live in src/check; a clean LLC reports no violations.
+    for (const std::string &violation :
+         check::checkAllInvariants(*rig.llc)) {
+        ADD_FAILURE() << violation;
+    }
     EXPECT_LE(rig.llc->hitRate(), 1.0);
-    // Every NVM block write was recorded against the fault map.
-    if (rig.map) {
-        double pending = 0.0;
-        for (std::uint32_t f = 0; f < rig.map->geometry().numFrames();
-             ++f) {
-            pending += rig.map->pendingWrites(f);
-        }
-        EXPECT_DOUBLE_EQ(
-            pending,
-            static_cast<double>(rig.llc->nvmBytesWritten()));
-    } else {
+    if (!rig.map) {
         EXPECT_EQ(rig.llc->nvmBytesWritten(), 0u);
-        EXPECT_EQ(stats.counterValue("inserts_nvm"), 0u);
+        EXPECT_EQ(rig.llc->stats().counterValue("inserts_nvm"), 0u);
     }
 }
 
@@ -156,6 +145,16 @@ TEST_P(PolicyStorm, SurvivesAgingMidstream)
     rig.llc->revalidateAgainstFaultMap();
     storm(*rig.llc, 6, 10'000);
     EXPECT_LE(rig.llc->hitRate(), 1.0);
+    // Structure (residents fit their shrunken frames, no duplicates)
+    // and stats identities must survive mid-stream aging.
+    for (const std::string &violation :
+         check::checkLlcStructure(*rig.llc)) {
+        ADD_FAILURE() << violation;
+    }
+    for (const std::string &violation :
+         check::checkStatsAccounting(*rig.llc)) {
+        ADD_FAILURE() << violation;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -22,6 +22,7 @@
 #include <memory>
 #include <sstream>
 
+#include "check/manifest.hh"
 #include "common/argparse.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
@@ -148,6 +149,10 @@ main(int argc, char **argv)
     } catch (const IoError &e) {
         fatal("%s", e.what());
     }
+    // A present-but-mismatching sidecar manifest means the trace on disk
+    // is not the one that was captured; refuse to replay it.
+    if (const auto mismatch = check::verifyManifest(argv[1], trace))
+        fatal("%s", mismatch->c_str());
     const std::vector<PolicyKind> policies =
         argc > 2 && argv[2][0] != '-' ? parsePolicyList(argv[2])
                                       : std::vector<PolicyKind>{

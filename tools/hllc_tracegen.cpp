@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "check/manifest.hh"
 #include "common/argparse.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
@@ -72,6 +73,13 @@ main(int argc, char **argv)
         config.scheme);
     try {
         trace.save(path);
+        // Sidecar manifest: replay tools verify size/CRC32/event count
+        // before trusting the trace (see src/check/manifest.hh).
+        check::TraceManifest manifest = check::computeManifest(path, trace);
+        manifest.hasSeed = true;
+        manifest.seed =
+            config.seed + static_cast<std::uint64_t>(*mix_number) - 1;
+        check::saveManifest(path, manifest);
     } catch (const IoError &e) {
         fatal("%s", e.what());
     }
