@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 #include "sim/grid.hh"
 
 using namespace hllc;
@@ -38,11 +39,11 @@ main(int argc, char **argv)
     for (std::uint32_t nvm_ways : { 12u, 11u, 10u }) {
         auto cpsd = config.llcConfig(PolicyKind::CpSd);
         cpsd.nvmWays = nvm_ways;
-        entries.push_back({ "CP_SD-" + std::to_string(nvm_ways) + "w",
+        entries.push_back({ "CP_SD-" + formatU64(nvm_ways) + "w",
                             cpsd });
         auto th = config.llcConfig(PolicyKind::CpSdTh, th8);
         th.nvmWays = nvm_ways;
-        entries.push_back({ "CP_SD_Th8-" + std::to_string(nvm_ways) +
+        entries.push_back({ "CP_SD_Th8-" + formatU64(nvm_ways) +
                                 "w",
                             th });
     }

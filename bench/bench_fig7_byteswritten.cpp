@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 #include "compression/encoding.hh"
 #include "sim/grid.hh"
 
@@ -43,7 +44,7 @@ main(int argc, char **argv)
     for (unsigned cpth : compression::cpthCandidates()) {
         hybrid::PolicyParams params;
         params.fixedCpth = cpth;
-        const std::string suffix = "_cpth" + std::to_string(cpth);
+        const std::string suffix = "_cpth" + formatU64(cpth);
         const auto ca = experiment.runPhase(
             config.llcConfig(PolicyKind::Ca, params), "CA" + suffix);
         const auto rwr = experiment.runPhase(

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 #include "compression/encoding.hh"
 #include "sim/grid.hh"
 
@@ -60,13 +61,13 @@ main(int argc, char **argv)
     std::vector<sim::PhaseCell> cells;
     for (double capacity : capacities) {
         cells.push_back({ "CP_SD_cap" +
-                              std::to_string(static_cast<int>(
+                              formatI64(static_cast<int>(
                                   100.0 * capacity)),
                           config.llcConfig(PolicyKind::CpSd), capacity,
                           sim::allMixes });
     }
     for (std::size_t mix = 0; mix < num_mixes; ++mix) {
-        cells.push_back({ "CP_SD_mix" + std::to_string(mix + 1),
+        cells.push_back({ "CP_SD_mix" + formatU64(mix + 1),
                           config.llcConfig(PolicyKind::CpSd), 1.0, mix });
     }
     const auto phases = sim::runPhaseGrid(experiment, cells);
@@ -87,7 +88,7 @@ main(int argc, char **argv)
 
     std::printf("\n# (b) by mix, 100%% NVM capacity\n");
     for (std::size_t mix = 0; mix < num_mixes; ++mix) {
-        char label[16];
+        char label[32];
         std::snprintf(label, sizeof(label), "mix %zu", mix + 1);
         printDistribution(label,
                           phases[capacities.size() + mix].winnerHistory);

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 #include "sim/grid.hh"
 
 using namespace hllc;
@@ -53,9 +54,9 @@ main(int argc, char **argv)
             const auto policy = th == 0.0 ? PolicyKind::CpSd
                                           : PolicyKind::CpSdTh;
             cells.push_back(
-                { "CP_SD_Th" + std::to_string(static_cast<int>(th)) +
+                { "CP_SD_Th" + formatI64(static_cast<int>(th)) +
                       "_cap" +
-                      std::to_string(static_cast<int>(100.0 * capacity)),
+                      formatI64(static_cast<int>(100.0 * capacity)),
                   config.llcConfig(policy, params), capacity,
                   sim::allMixes });
         }

@@ -12,9 +12,12 @@
 #define HLLC_COMMON_ARGPARSE_HH
 
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <optional>
+
+#include "common/numfmt.hh"
 
 namespace hllc
 {
@@ -47,16 +50,18 @@ parseUnsigned(const char *token, unsigned min = 0,
     return static_cast<unsigned>(*v);
 }
 
-/** Parse a full floating-point token; nullopt on junk or non-finite. */
+/**
+ * Parse a full floating-point token; nullopt on junk or non-finite.
+ * from_chars-based (common/numfmt contract): a de_DE locale neither
+ * accepts "0,25" nor rejects "0.25" here.
+ */
 inline std::optional<double>
 parseDouble(const char *token)
 {
     if (token == nullptr || *token == '\0')
         return std::nullopt;
-    char *end = nullptr;
-    errno = 0;
-    const double parsed = std::strtod(token, &end);
-    if (errno != 0 || end == token || *end != '\0')
+    double parsed = 0.0;
+    if (!parseDoubleExact(token, parsed) || !std::isfinite(parsed))
         return std::nullopt;
     return parsed;
 }

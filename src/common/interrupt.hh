@@ -8,6 +8,11 @@
  * boundaries, where they write a final checkpoint and unwind with
  * InterruptedError. A second signal falls through to the default
  * disposition, so a hung run can still be killed.
+ *
+ * Thread safety: the flag and signal number are lock-free atomics (the
+ * handler is async-signal-safe, and worker threads may poll
+ * interruptRequested() concurrently), so no capability annotations are
+ * needed here.
  */
 
 #ifndef HLLC_COMMON_INTERRUPT_HH

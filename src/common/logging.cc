@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
@@ -10,7 +11,10 @@ namespace hllc
 namespace
 {
 
-LogLevel g_level = LogLevel::Inform;
+// Atomic because worker threads emit grid heartbeats (and their level
+// checks) concurrently with the main thread; relaxed ordering suffices
+// since the level gates only log volume, never correctness.
+std::atomic<LogLevel> g_level{LogLevel::Inform};
 
 /**
  * HLLC_LOG={quiet,warn,info,debug} overrides every programmatic
@@ -54,13 +58,14 @@ vreport(const char *tag, const char *fmt, std::va_list ap)
 void
 setLogLevel(LogLevel level)
 {
-    g_level = envLevel() != nullptr ? *envLevel() : level;
+    g_level.store(envLevel() != nullptr ? *envLevel() : level,
+                  std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
@@ -86,7 +91,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Warn)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Warn)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -97,7 +102,8 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Inform)
+    if (g_level.load(std::memory_order_relaxed) <
+        LogLevel::Inform)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -108,7 +114,8 @@ inform(const char *fmt, ...)
 void
 debugLog(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Debug)
+    if (g_level.load(std::memory_order_relaxed) <
+        LogLevel::Debug)
         return;
     std::va_list ap;
     va_start(ap, fmt);

@@ -101,6 +101,11 @@ class HistogramSeries
  * The named series of one run or grid cell. Create-or-find semantics
  * like StatGroup; iteration is in name order, so exports are
  * deterministic.
+ *
+ * Thread-confined by design, not locked: each grid cell owns one
+ * registry on its worker thread and the result is moved into the
+ * summary after the cell's future resolves (a std::mutex member would
+ * make the type unmovable). Never share one instance across threads.
  */
 class MetricRegistry
 {

@@ -56,6 +56,16 @@ formatU64(std::uint64_t value)
     return std::string(buf, res.ptr);
 }
 
+/** Decimal string of a signed 64-bit value. */
+inline std::string
+formatI64(std::int64_t value)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    HLLC_ASSERT(res.ec == std::errc());
+    return std::string(buf, res.ptr);
+}
+
 /** Parse what formatDouble() wrote; locale-independent like to_chars. */
 inline bool
 parseDoubleExact(const std::string &text, double &out)

@@ -8,6 +8,8 @@
 
 #include <unistd.h>
 
+#include "common/numfmt.hh"
+
 namespace hllc::serial
 {
 
@@ -121,8 +123,8 @@ void
 Decoder::require(std::size_t n) const
 {
     if (n > size_ - pos_)
-        throw IoError("truncated record: need " + std::to_string(n) +
-                      " bytes, " + std::to_string(size_ - pos_) +
+        throw IoError("truncated record: need " + formatU64(n) +
+                      " bytes, " + formatU64(size_ - pos_) +
                       " available");
 }
 
@@ -175,8 +177,8 @@ Decoder::str(std::size_t max_len)
 {
     const std::uint64_t len = u64();
     if (len > max_len)
-        throw IoError("string length " + std::to_string(len) +
-                      " exceeds limit " + std::to_string(max_len));
+        throw IoError("string length " + formatU64(len) +
+                      " exceeds limit " + formatU64(max_len));
     require(static_cast<std::size_t>(len));
     std::string s(reinterpret_cast<const char *>(data_ + pos_),
                   static_cast<std::size_t>(len));
@@ -191,7 +193,7 @@ Decoder::f64Vec()
     // Validate the declared count against the bytes actually present
     // before allocating anything.
     if (count > remaining() / 8)
-        throw IoError("vector count " + std::to_string(count) +
+        throw IoError("vector count " + formatU64(count) +
                       " exceeds the bytes available");
     std::vector<double> v;
     v.reserve(static_cast<std::size_t>(count));
@@ -205,7 +207,7 @@ Decoder::u64Vec()
 {
     const std::uint64_t count = u64();
     if (count > remaining() / 8)
-        throw IoError("vector count " + std::to_string(count) +
+        throw IoError("vector count " + formatU64(count) +
                       " exceeds the bytes available");
     std::vector<std::uint64_t> v;
     v.reserve(static_cast<std::size_t>(count));
@@ -272,7 +274,7 @@ Container::decode(const std::uint8_t *data, std::size_t size,
 {
     // Header (16) + CRC trailer (4) is the smallest legal container.
     if (size < 20)
-        throw IoError("container too small (" + std::to_string(size) +
+        throw IoError("container too small (" + formatU64(size) +
                       " bytes)");
 
     // The trailer is little-endian like every other field.
@@ -288,14 +290,14 @@ Container::decode(const std::uint8_t *data, std::size_t size,
     const std::uint32_t format = dec.u32();
     if (format != containerFormatVersion)
         throw IoError("unsupported container format version " +
-                      std::to_string(format));
+                      formatU64(format));
     const std::uint32_t payload_version = dec.u32();
     if (payload_version < min_version || payload_version > max_version)
         throw IoError("unsupported payload version " +
-                      std::to_string(payload_version));
+                      formatU64(payload_version));
     const std::uint32_t count = dec.u32();
     if (count > maxChunks)
-        throw IoError("implausible chunk count " + std::to_string(count));
+        throw IoError("implausible chunk count " + formatU64(count));
 
     Container container;
     for (std::uint32_t i = 0; i < count; ++i) {

@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(unsigned num_workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
-    available_.notify_all();
+    available_.notifyAll();
     for (auto &worker : workers_)
         worker.join();
 }
@@ -31,10 +31,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            available_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
-            });
+            MutexLock lock(mutex_);
+            while (!stopping_ && queue_.empty())
+                available_.wait(mutex_);
             // Drain-on-stop: only exit once the queue is empty, so work
             // submitted before destruction still completes.
             if (queue_.empty())

@@ -17,16 +17,17 @@
 #ifndef HLLC_COMMON_THREAD_POOL_HH
 #define HLLC_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/sync.hh"
+#include "common/thread_annotations.hh"
 
 namespace hllc
 {
@@ -67,21 +68,21 @@ class ThreadPool
             std::move(task));
         std::future<R> result = packaged->get_future();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             queue_.emplace_back([packaged] { (*packaged)(); });
         }
-        available_.notify_one();
+        available_.notifyOne();
         return result;
     }
 
   private:
-    void workerLoop();
+    void workerLoop() HLLC_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable available_;
-    bool stopping_ = false;
+    Mutex mutex_;
+    CondVar available_;
+    std::deque<std::function<void()>> queue_ HLLC_GUARDED_BY(mutex_);
+    bool stopping_ HLLC_GUARDED_BY(mutex_) = false;
 };
 
 /**

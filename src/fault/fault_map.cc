@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/numfmt.hh"
 #include "common/serialize.hh"
 
 namespace hllc::fault
@@ -153,10 +154,10 @@ FaultMap::restore(serial::Decoder &dec)
     if (frames != geometry().numFrames() ||
         frame_bytes != geometry().frameBytes) {
         throw IoError("fault-map geometry mismatch: snapshot has " +
-                      std::to_string(frames) + "x" +
-                      std::to_string(frame_bytes) + ", map has " +
-                      std::to_string(geometry().numFrames()) + "x" +
-                      std::to_string(geometry().frameBytes));
+                      formatU64(frames) + "x" +
+                      formatU64(frame_bytes) + ", map has " +
+                      formatU64(geometry().numFrames()) + "x" +
+                      formatU64(geometry().frameBytes));
     }
 
     std::vector<std::uint64_t> live_mask = dec.u64Vec();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 #include "common/serialize.hh"
 
 namespace hllc::fault
@@ -29,8 +30,8 @@ WearLevelCounter::restore(serial::Decoder &dec)
     const std::uint32_t modulo = dec.u32();
     if (modulo != modulo_)
         throw IoError("wear-level counter modulo mismatch: snapshot " +
-                      std::to_string(modulo) + ", counter " +
-                      std::to_string(modulo_));
+                      formatU64(modulo) + ", counter " +
+                      formatU64(modulo_));
     const std::uint32_t value = dec.u32();
     if (value >= modulo_)
         throw IoError("wear-level counter value out of range");

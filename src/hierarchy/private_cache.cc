@@ -1,6 +1,7 @@
 #include "hierarchy/private_cache.hh"
 
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 
 namespace hllc::hierarchy
 {
@@ -11,8 +12,8 @@ using hybrid::AccessOutcome;
 CoreHierarchy::CoreHierarchy(CoreId core, const PrivateCacheConfig &config,
                              workload::AppModel *app, LlcSink *sink)
     : core_(core), app_(app), sink_(sink),
-      l1_("l1_core" + std::to_string(core), config.l1Bytes, config.l1Ways),
-      l2_("l2_core" + std::to_string(core), config.l2Bytes, config.l2Ways)
+      l1_("l1_core" + formatU64(core), config.l1Bytes, config.l1Ways),
+      l2_("l2_core" + formatU64(core), config.l2Bytes, config.l2Ways)
 {
     HLLC_ASSERT(app != nullptr && sink != nullptr);
 }

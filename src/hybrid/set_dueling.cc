@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 #include "common/serialize.hh"
 
 namespace hllc::hybrid
@@ -113,14 +114,14 @@ SetDueling::restore(serial::Decoder &dec)
 {
     const std::uint32_t count = dec.u32();
     if (count != candidates_.size())
-        throw IoError("set-dueling snapshot has " + std::to_string(count) +
+        throw IoError("set-dueling snapshot has " + formatU64(count) +
                       " candidates, instance has " +
-                      std::to_string(candidates_.size()));
+                      formatU64(candidates_.size()));
     const std::uint32_t winner = dec.u32();
     if (std::find(candidates_.begin(), candidates_.end(), winner) ==
         candidates_.end()) {
         throw IoError("set-dueling snapshot winner " +
-                      std::to_string(winner) + " is not a candidate");
+                      formatU64(winner) + " is not a candidate");
     }
     const std::uint64_t clock = dec.u64();
     const std::uint64_t epochs = dec.u64();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A small C++ lexer for the project linter.
+ *
+ * The rule engines in lint/rules.hh must never fire on a banned keyword
+ * that only appears inside a string literal or a comment — so the first
+ * stage of `hllc_lint` is a real tokenizer, not a grep. It understands
+ * line/block comments, ordinary and raw string literals, character
+ * literals, preprocessor directives (kept as single tokens: the include
+ * graph and include-guard checks need them) and identifier/number/
+ * punctuation tokens, each tagged with its 1-based source line.
+ *
+ * Comments are kept as tokens rather than dropped: the suppression
+ * syntax (`// hllc-lint: allow(<rule>) <justification>`) lives in them.
+ */
+
+#ifndef HLLC_LINT_LEXER_HH
+#define HLLC_LINT_LEXER_HH
+
+#include <string>
+#include <vector>
+
+namespace hllc::lint
+{
+
+/** Lexical class of one token. */
+enum class TokKind
+{
+    Identifier, //!< identifiers and keywords
+    Number,     //!< numeric literals (including 0x..., digit separators)
+    String,     //!< "..." and R"(...)" literals (text excludes quotes)
+    Char,       //!< '...' literals
+    Punct,      //!< one punctuation character per token
+    Comment,    //!< // or block comment; text excludes the delimiters
+    Directive,  //!< one whole preprocessor directive
+};
+
+/** One token; @c line is 1-based and refers to where the token starts. */
+struct Token
+{
+    TokKind kind;
+    /**
+     * Token spelling. For Directive tokens this is the directive keyword
+     * alone ("include", "ifndef", ...); the remainder of the directive
+     * line (comments stripped, trimmed) is in @c payload.
+     */
+    std::string text;
+    /** Directive arguments, e.g. `"common/rng.hh"` or `HLLC_FOO_HH`. */
+    std::string payload;
+    int line = 0;
+    /** Last line the token covers (> line for multi-line comments). */
+    int endLine = 0;
+};
+
+/**
+ * Tokenize @p source. The lexer is permissive: malformed input (e.g. an
+ * unterminated string) never throws, it just ends the current token at
+ * end of file — a linter must degrade gracefully on code that does not
+ * compile yet.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace hllc::lint
+
+#endif // HLLC_LINT_LEXER_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The `hllc_lint` driver: tree walking, the cross-file include graph,
+ * baseline handling and the text/JSON reporters.
+ *
+ * The per-file engines live in lint/rules.hh; this layer adds what
+ * needs more than one file: walking `src/ tools/ bench/ tests/
+ * examples/`, detecting include cycles among project headers, and
+ * subtracting a checked-in baseline so pre-existing findings can be
+ * burned down without blocking CI. Baseline entries fingerprint the
+ * offending line's text, not its number, so unrelated edits above a
+ * waived line do not resurrect it.
+ */
+
+#ifndef HLLC_LINT_LINT_HH
+#define HLLC_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hh"
+
+namespace hllc::lint
+{
+
+/** A whole-run configuration. */
+struct RunOptions
+{
+    /** Rule enablement forwarded to lintSource(). */
+    Options rules;
+    /**
+     * Directories (or single files) to lint, relative to the root.
+     * Empty means the project default: src tools bench tests examples.
+     */
+    std::vector<std::string> paths;
+    /** Baseline file path ("" = no baseline). */
+    std::string baselinePath;
+};
+
+/** Outcome of linting a tree. */
+struct RunResult
+{
+    /** Findings after suppressions and baseline subtraction. */
+    std::vector<Finding> findings;
+    /** How many findings the baseline absorbed. */
+    std::size_t baselined = 0;
+    /** Baseline entries that matched nothing (stale, worth pruning). */
+    std::size_t staleBaseline = 0;
+    std::size_t filesScanned = 0;
+};
+
+/**
+ * Lint every C++ source below @p root limited to @p options.paths.
+ * Throws hllc::IoError when the root, a requested path, or the baseline
+ * file cannot be read.
+ */
+RunResult lintTree(const std::string &root, const RunOptions &options);
+
+/** One `file|rule|line-text` baseline line per finding. */
+std::string formatBaseline(const std::vector<Finding> &findings);
+
+/** Human-readable report: `file:line: [rule] message`. */
+std::string formatText(const RunResult &result);
+
+/** Machine-readable report (schema "hllc-lint-v1"). */
+std::string formatJson(const RunResult &result);
+
+} // namespace hllc::lint
+
+#endif // HLLC_LINT_LINT_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The project-invariant rules `hllc_lint` enforces.
+ *
+ * Each rule encodes a contract an earlier PR established the hard way
+ * (see DESIGN.md §11 for the rule → bug mapping):
+ *
+ *  - `determinism`: no ambient randomness (rand(), std::random_device,
+ *    time(nullptr) seeding, thread-id-derived values) outside
+ *    common/rng — grid results must be byte-identical for any --jobs.
+ *  - `atomic-io`: no raw std::ofstream/fopen file creation outside
+ *    common/serialize — everything written goes through
+ *    writeFileAtomic so a crash never leaves a torn file.
+ *  - `locale`: no std::to_string/setprecision/strtod-family formatting
+ *    or parsing outside common/numfmt — a de_DE process locale must
+ *    not turn "0.25" into "0,25" in machine-readable output.
+ *  - `no-exit-in-library`: exit()/abort() only in CLI mains and the
+ *    sanctioned logging sinks; library code throws hllc::IoError.
+ *  - `header-hygiene`: include guards named HLLC_<PATH>_HH, no
+ *    `using namespace` in headers, and module includes that respect
+ *    the CMake layering DAG (the include-graph engine).
+ *
+ * Findings can be waived inline with
+ * `// hllc-lint: allow(<rule>[,<rule>...]) <justification>` on the
+ * offending line or alone on the line above; an allow() without a
+ * justification is itself reported (rule `suppression`).
+ */
+
+#ifndef HLLC_LINT_RULES_HH
+#define HLLC_LINT_RULES_HH
+
+#include <string>
+#include <vector>
+
+namespace hllc::lint
+{
+
+/** One rule violation at one source location. */
+struct Finding
+{
+    std::string file; //!< repo-relative path, forward slashes
+    int line = 0;     //!< 1-based
+    std::string rule;
+    std::string message;
+    /**
+     * The offending source line, whitespace-trimmed: the baseline
+     * fingerprint, stable across unrelated edits above the line.
+     */
+    std::string lineText;
+};
+
+/** Every rule name, in reporting order. */
+const std::vector<std::string> &allRules();
+
+/** Rule enablement (all on by default). */
+struct Options
+{
+    std::vector<std::string> disabledRules;
+
+    bool ruleEnabled(const std::string &rule) const;
+};
+
+/**
+ * Lint one translation unit. @p path is the repo-relative path (it
+ * selects which rules apply and the expected include-guard name);
+ * @p content is the file's text. Suppression comments are honoured;
+ * findings come back sorted by line.
+ */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &content,
+                                const Options &options = {});
+
+/**
+ * Project-internal `#include "..."` targets of @p content, for the
+ * cross-file include-graph checks in lint.hh.
+ */
+std::vector<std::string> projectIncludes(const std::string &content);
+
+} // namespace hllc::lint
+
+#endif // HLLC_LINT_RULES_HH

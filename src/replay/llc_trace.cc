@@ -1,5 +1,6 @@
 #include "replay/llc_trace.hh"
 
+#include "common/numfmt.hh"
 #include "common/serialize.hh"
 
 namespace hllc::replay
@@ -29,7 +30,7 @@ checkedEventType(std::uint8_t raw, const std::string &path)
 {
     if (raw > static_cast<std::uint8_t>(hybrid::LlcEventType::PutDirty))
         throw IoError("trace file '" + path + "' has invalid event type " +
-                      std::to_string(raw));
+                      formatU64(raw));
     return static_cast<hybrid::LlcEventType>(raw);
 }
 
@@ -44,7 +45,7 @@ loadV1(serial::Decoder &dec, const std::string &path)
     const std::uint32_t version = dec.u32();
     if (version != traceVersionV1)
         throw IoError("trace file '" + path + "' has unsupported version " +
-                      std::to_string(version));
+                      formatU64(version));
 
     LlcTrace trace;
     const std::uint32_t name_len = dec.u32();

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 
 namespace hllc::sim
 {
@@ -14,8 +15,8 @@ scaleFromEnv()
     const char *env = std::getenv("HLLC_SCALE");
     if (env == nullptr || env[0] == '\0')
         return 1.0;
-    const double raw = std::atof(env);
-    if (raw <= 0.0) {
+    double raw = 0.0;
+    if (!parseDoubleExact(env, raw) || raw <= 0.0) {
         warn("ignoring invalid HLLC_SCALE '%s'", env);
         return 1.0;
     }

@@ -8,6 +8,7 @@
 #include "common/argparse.hh"
 #include "common/interrupt.hh"
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 
 namespace hllc::sim
 {
@@ -95,7 +96,7 @@ checkpointCellPath(const CheckpointOptions &checkpoint, std::size_t index,
         if (!ok)
             c = '_';
     }
-    return checkpoint.dir + "/cell" + std::to_string(index) + "_" + safe +
+    return checkpoint.dir + "/cell" + formatU64(index) + "_" + safe +
            ".ckpt";
 }
 

@@ -132,8 +132,9 @@ TEST_P(BdiRoundtrip, EncodeUsesChosenEncodingHeader)
     const Ce ce = GetParam();
     const BlockData data = workload::synthesizeBlock(ce, 123);
     const auto ecb = BdiCompressor::encode(data, ce);
-    if (ce != Ce::Uncompressed)
+    if (ce != Ce::Uncompressed) {
         EXPECT_EQ(ecb[0], static_cast<std::uint8_t>(ce));
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -187,9 +187,10 @@ TEST(BdiBoundary, Int64MinBaseWrapsAtFullWidth)
     // by the base-delta CEs.
     const BlockData far = baseDeltaBlock(8, min64, min64);
     for (const CeInfo &info : ceTable()) {
-        if (info.baseBytes == 8)
+        if (info.baseBytes == 8) {
             EXPECT_FALSE(BdiCompressor::applicable(far, info.ce))
                 << std::string(info.name);
+        }
     }
 }
 
@@ -203,9 +204,10 @@ TEST(BdiBoundary, NoWrapAroundBelowFullWidth)
         const BlockData data =
             baseDeltaBlock(k, min_k, (std::uint64_t{1} << (8 * k)) - 1);
         for (const CeInfo &info : ceTable()) {
-            if (info.baseBytes == k)
+            if (info.baseBytes == k) {
                 EXPECT_FALSE(BdiCompressor::applicable(data, info.ce))
                     << std::string(info.name);
+            }
         }
     }
 }

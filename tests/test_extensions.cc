@@ -100,6 +100,8 @@ TEST_F(TraceFile, LoadedTraceReplaysIdentically)
 
 TEST_F(TraceFile, LoadRejectsGarbage)
 {
+    // hllc-lint: allow(atomic-io) writing deliberate garbage to test
+    // the reader's rejection path
     std::FILE *f = std::fopen(path(), "wb");
     ASSERT_NE(f, nullptr);
     std::fputs("definitely not a trace", f);

@@ -143,8 +143,9 @@ TEST(FaultMap, AgingOnlyWearsWrittenFrames)
     map.age(1.0);
     EXPECT_EQ(map.liveBytes(1), 0u);
     for (std::uint32_t f = 0; f < 8; ++f) {
-        if (f != 1)
+        if (f != 1) {
             EXPECT_EQ(map.liveBytes(f), 64u) << f;
+        }
     }
 }
 

@@ -143,8 +143,9 @@ TEST(CoreHierarchy, InclusionMaintainedUnderPressure)
         rig.core.access({ rng.nextBounded(64), rng.nextBool(0.3) });
     // Every L1-resident block must be in L2.
     for (Addr b = 0; b < 64; ++b) {
-        if (rig.core.l1().contains(b))
+        if (rig.core.l1().contains(b)) {
             EXPECT_TRUE(rig.core.l2().contains(b)) << b;
+        }
     }
 }
 

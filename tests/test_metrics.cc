@@ -197,7 +197,7 @@ TEST(Metrics, CsvExportRoundTripsValues)
 TEST(Metrics, WriteStatsFileDispatchesOnExtension)
 {
     const std::string base =
-        "/tmp/hllc_test_metrics_" + std::to_string(::getpid());
+        "/tmp/hllc_test_metrics_" + formatI64(::getpid());
     const std::string json_path = base + ".json";
     const std::string csv_path = base + ".csv";
 

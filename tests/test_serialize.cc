@@ -210,6 +210,7 @@ TEST_F(FileRoundTrip, SaveLoadAndAtomicTempCleanup)
     EXPECT_EQ(c.chunkCount(), 2u);
 
     // The temp file must not survive a successful save.
+    // hllc-lint: allow(atomic-io) read-only probe for the .tmp leftover
     std::FILE *tmp = std::fopen((std::string(path()) + ".tmp").c_str(),
                                 "rb");
     EXPECT_EQ(tmp, nullptr);
@@ -279,6 +280,8 @@ class TraceCorpus : public ::testing::Test
     void
     writeBytes(const std::vector<std::uint8_t> &bytes)
     {
+        // hllc-lint: allow(atomic-io) corruption harness: writes
+        // deliberately torn/bit-flipped images the loader must reject
         std::FILE *f = std::fopen(path(), "wb");
         ASSERT_NE(f, nullptr);
         ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),

@@ -14,6 +14,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/numfmt.hh"
 #include "common/thread_pool.hh"
 #include "sim/grid.hh"
 
@@ -84,7 +85,7 @@ TEST(ParallelFor, RethrowsLowestIndexException)
         try {
             parallelFor(jobs, 8, [](std::size_t i) {
                 if (i % 2 == 1)
-                    throw std::out_of_range(std::to_string(i));
+                    throw std::out_of_range(formatU64(i));
             });
             FAIL() << "expected an exception (jobs=" << jobs << ")";
         } catch (const std::out_of_range &e) {

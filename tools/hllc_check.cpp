@@ -38,6 +38,7 @@
 #include "common/argparse.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 #include "common/rng.hh"
 #include "compression/compressor.hh"
 
@@ -367,7 +368,7 @@ runRoundtrip(const Options &opt)
                 }
             }
         }
-        checkBlock("random-" + std::to_string(i), data);
+        checkBlock("random-" + formatU64(i), data);
         if (failures > 8)
             break; // enough context to debug; stop the spam
     }

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * hllc_lint: enforce the project's hard-won invariants as named,
+ * suppressible static-analysis rules (see DESIGN.md §11).
+ *
+ * Usage: hllc_lint [--root DIR] [--format text|json]
+ *                  [--baseline FILE] [--write-baseline FILE]
+ *                  [--no-rule RULE]... [--list-rules] [PATH...]
+ *
+ * PATHs are directories or files relative to --root (default: the
+ * current directory); with none given the project default set
+ * `src tools bench tests examples` is walked. Exit status: 0 when the
+ * tree is clean (beyond the baseline), 1 when findings remain, 2 on
+ * usage or I/O errors — the contract the CI lint job relies on.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+#include "lint/lint.hh"
+
+using namespace hllc;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--format text|json]\n"
+        "       [--baseline FILE] [--write-baseline FILE]\n"
+        "       [--no-rule RULE]... [--list-rules] [PATH...]\n",
+        argv0);
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string format = "text";
+    std::string write_baseline;
+    lint::RunOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s requires a value", flag);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--root") == 0) {
+            root = value("--root");
+        } else if (std::strcmp(arg, "--format") == 0) {
+            format = value("--format");
+            if (format != "text" && format != "json")
+                return usage(argv[0]);
+        } else if (std::strncmp(arg, "--format=", 9) == 0) {
+            format = arg + 9;
+            if (format != "text" && format != "json")
+                return usage(argv[0]);
+        } else if (std::strcmp(arg, "--baseline") == 0) {
+            options.baselinePath = value("--baseline");
+        } else if (std::strcmp(arg, "--write-baseline") == 0) {
+            write_baseline = value("--write-baseline");
+        } else if (std::strcmp(arg, "--no-rule") == 0) {
+            options.rules.disabledRules.push_back(value("--no-rule"));
+        } else if (std::strcmp(arg, "--list-rules") == 0) {
+            for (const std::string &rule : lint::allRules())
+                std::printf("%s\n", rule.c_str());
+            return 0;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            options.paths.push_back(arg);
+        }
+    }
+    for (const std::string &rule : options.rules.disabledRules) {
+        bool known = false;
+        for (const std::string &name : lint::allRules())
+            known = known || name == rule;
+        if (!known) {
+            std::fprintf(stderr, "unknown rule '%s' (--list-rules)\n",
+                         rule.c_str());
+            return 2;
+        }
+    }
+
+    try {
+        const lint::RunResult result = lint::lintTree(root, options);
+        if (!write_baseline.empty()) {
+            const std::string text =
+                lint::formatBaseline(result.findings);
+            // Resolve against --root, symmetric with how --baseline is
+            // read back.
+            const std::string out =
+                (std::filesystem::path(root) / write_baseline).string();
+            serial::writeFileAtomic(out, text.data(), text.size());
+            std::fprintf(stderr, "wrote %zu baseline entr(y/ies) to %s\n",
+                         result.findings.size(), write_baseline.c_str());
+            return 0;
+        }
+        const std::string report = format == "json"
+            ? lint::formatJson(result)
+            : lint::formatText(result);
+        std::fputs(report.c_str(), stdout);
+        return result.findings.empty() ? 0 : 1;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "hllc_lint: %s\n", e.what());
+        return 2;
+    }
+}
