@@ -31,6 +31,19 @@ void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
 /**
+ * Whether a message at @p level would currently be emitted. inform()
+ * itself drops suppressed messages, but the call site still pays for
+ * argument construction (std::string copies, timing math) before the
+ * level is consulted — code emitting per-cell/per-step status should
+ * gate that work behind this check.
+ */
+inline bool
+logEnabled(LogLevel level)
+{
+    return logLevel() >= level;
+}
+
+/**
  * Report an internal invariant violation and abort().
  * Use for conditions that indicate a simulator bug.
  */

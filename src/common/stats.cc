@@ -219,8 +219,26 @@ StatGroup::restore(serial::Decoder &dec)
         histograms.emplace(hname, std::move(h));
     }
 
-    counters_ = std::move(counters);
-    histograms_ = std::move(histograms);
+    // Apply in place instead of swapping the maps: callers on the hot
+    // path (the hybrid LLC) cache Counter addresses, and std::map nodes
+    // are pointer-stable — as long as we never erase them. Counters
+    // absent from the snapshot reset to zero, unknown ones are created.
+    for (auto &[cname, c] : counters_)
+        c.reset();
+    for (const auto &[cname, c] : counters) {
+        Counter &dst = counter(cname);
+        dst.reset();
+        dst += c.value();
+    }
+    for (auto &[hname, h] : histograms_)
+        h.reset();
+    for (auto &[hname, h] : histograms) {
+        auto it = histograms_.find(hname);
+        if (it == histograms_.end())
+            histograms_.emplace(hname, std::move(h));
+        else
+            it->second = std::move(h);
+    }
 }
 
 } // namespace hllc

@@ -161,6 +161,12 @@ ForecastEngine::samplePoint(std::size_t step, const ForecastPoint &point,
                             const hybrid::HybridLlc &llc,
                             const fault::FaultMap &map)
 {
+    // Series collection is opt-out: cells that never export or
+    // checkpoint skip the sampling (and the per-frame wear scan) rather
+    // than accumulate data nobody reads.
+    if (!config_.collectSeries)
+        return;
+
     // Every value sampled here is a pure function of the replayed trace
     // and simulation state — never of wall clock or checkpoint cadence —
     // so a resumed run's export stays byte-identical to an uninterrupted

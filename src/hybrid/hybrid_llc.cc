@@ -1,7 +1,8 @@
 #include "hybrid/hybrid_llc.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
-#include "common/metrics.hh"
 #include "compression/encoding.hh"
 
 namespace hllc::hybrid
@@ -59,9 +60,15 @@ HybridLlc::HybridLlc(const HybridLlcConfig &config,
                      fault::FaultMap *fault_map)
     : config_(config),
       policy_(InsertionPolicy::create(config.policy, config.params)),
+      engine_(*policy_, config.params),
       faultMap_(fault_map),
-      lines_(static_cast<std::size_t>(config.numSets) *
-             config.totalWays()),
+      ways_(config.totalWays()),
+      tags_(static_cast<std::size_t>(config.numSets) *
+            config.totalWays(), 0),
+      valid_(tags_.size(), 0),
+      dirty_(tags_.size(), 0),
+      ecb_(tags_.size(), 0),
+      rrpv_(tags_.size(), 0),
       lru_(config.numSets, config.totalWays()),
       stats_(std::string("llc_") + std::string(policy_->name()))
 {
@@ -91,6 +98,42 @@ HybridLlc::HybridLlc(const HybridLlcConfig &config,
 
     for (const char *name : llcCounterNames)
         stats_.counter(name);
+
+    ctr_.agedOut = &stats_.counter("aged_out");
+    ctr_.bypasses = &stats_.counter("bypasses");
+    ctr_.evictionsNvm = &stats_.counter("evictions_nvm");
+    ctr_.evictionsSram = &stats_.counter("evictions_sram");
+    ctr_.gets = &stats_.counter("gets");
+    ctr_.getsHitsNvm = &stats_.counter("gets_hits_nvm");
+    ctr_.getsHitsSram = &stats_.counter("gets_hits_sram");
+    ctr_.getsMisses = &stats_.counter("gets_misses");
+    ctr_.getx = &stats_.counter("getx");
+    ctr_.getxHitsNvm = &stats_.counter("getx_hits_nvm");
+    ctr_.getxHitsSram = &stats_.counter("getx_hits_sram");
+    ctr_.getxMisses = &stats_.counter("getx_misses");
+    ctr_.inplaceUpdates = &stats_.counter("inplace_updates");
+    ctr_.insNoneClean = &stats_.counter("ins_none_clean");
+    ctr_.insNoneDirty = &stats_.counter("ins_none_dirty");
+    ctr_.insReadClean = &stats_.counter("ins_read_clean");
+    ctr_.insReadDirty = &stats_.counter("ins_read_dirty");
+    ctr_.insWriteClean = &stats_.counter("ins_write_clean");
+    ctr_.insWriteDirty = &stats_.counter("ins_write_dirty");
+    ctr_.insertNvmFallbackSram =
+        &stats_.counter("insert_nvm_fallback_sram");
+    ctr_.insertsNvm = &stats_.counter("inserts_nvm");
+    ctr_.insertsSram = &stats_.counter("inserts_sram");
+    ctr_.invalidateOnGetx = &stats_.counter("invalidate_on_getx");
+    ctr_.migrationsToNvm = &stats_.counter("migrations_to_nvm");
+    ctr_.nvmBytesNoneClean = &stats_.counter("nvm_bytes_none_clean");
+    ctr_.nvmBytesNoneDirty = &stats_.counter("nvm_bytes_none_dirty");
+    ctr_.nvmBytesRead = &stats_.counter("nvm_bytes_read");
+    ctr_.nvmBytesWriteReuse = &stats_.counter("nvm_bytes_write_reuse");
+    ctr_.nvmBytesWritten = &stats_.counter("nvm_bytes_written");
+    ctr_.nvmWrites = &stats_.counter("nvm_writes");
+    ctr_.putsClean = &stats_.counter("puts_clean");
+    ctr_.putsDirty = &stats_.counter("puts_dirty");
+    ctr_.putsPresent = &stats_.counter("puts_present");
+    ctr_.writebacksDirty = &stats_.counter("writebacks_dirty");
 }
 
 unsigned
@@ -101,22 +144,14 @@ HybridLlc::frameCapacity(std::uint32_t set, std::uint32_t way) const
     return faultMap_->frameCapacity(frameOf(set, way));
 }
 
-unsigned
-HybridLlc::storedSize(std::uint32_t way, unsigned ecb) const
-{
-    // SRAM stores blocks uncompressed; NVM stores the ECB when the policy
-    // compresses, raw frames otherwise.
-    if (isNvmWay(way) && policy_->usesCompression())
-        return ecb;
-    return blockBytes;
-}
-
 int
 HybridLlc::findWay(std::uint32_t set, Addr block) const
 {
-    for (std::uint32_t w = 0; w < config_.totalWays(); ++w) {
-        const Line &l = line(set, w);
-        if (l.valid && l.blockNum == block)
+    const std::size_t base = index(set, 0);
+    const Addr *tags = tags_.data() + base;
+    const std::uint8_t *valid = valid_.data() + base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (valid[w] && tags[w] == block)
             return static_cast<int>(w);
     }
     return -1;
@@ -126,18 +161,16 @@ int
 HybridLlc::victimWay(std::uint32_t set, std::uint32_t begin,
                      std::uint32_t end, unsigned ecb)
 {
-    metrics::ScopedPhaseTimer timer(metrics::Phase::Replacement);
-
     // Empty frames with enough capacity first...
     for (std::uint32_t w = begin; w < end; ++w) {
-        if (!line(set, w).valid &&
+        if (!valid_[index(set, w)] &&
             frameCapacity(set, w) >= storedSize(w, ecb)) {
             return static_cast<int>(w);
         }
     }
 
     const auto fits = [&](std::uint32_t w) {
-        return line(set, w).valid &&
+        return valid_[index(set, w)] != 0 &&
                frameCapacity(set, w) >= storedSize(w, ecb);
     };
 
@@ -151,13 +184,13 @@ HybridLlc::victimWay(std::uint32_t set, std::uint32_t begin,
             return -1;
         for (unsigned round = 0; round <= maxRrpv; ++round) {
             for (std::uint32_t w = begin; w < end; ++w) {
-                if (fits(w) && line(set, w).rrpv >= maxRrpv)
+                if (fits(w) && rrpv_[index(set, w)] >= maxRrpv)
                     return static_cast<int>(w);
             }
             for (std::uint32_t w = begin; w < end; ++w) {
-                Line &l = line(set, w);
-                if (l.valid && l.rrpv < maxRrpv)
-                    ++l.rrpv;
+                const std::size_t i = index(set, w);
+                if (valid_[i] && rrpv_[i] < maxRrpv)
+                    ++rrpv_[i];
             }
         }
         panic("SRRIP victim scan did not converge");
@@ -170,16 +203,17 @@ HybridLlc::victimWay(std::uint32_t set, std::uint32_t begin,
 void
 HybridLlc::evict(std::uint32_t set, std::uint32_t way)
 {
-    Line &l = line(set, way);
-    if (!l.valid)
+    const std::size_t i = index(set, way);
+    if (!valid_[i])
         return;
-    ++stats_.counter(isNvmWay(way) ? "evictions_nvm" : "evictions_sram");
-    if (l.dirty)
-        ++stats_.counter("writebacks_dirty");
+    ++*(isNvmWay(way) ? ctr_.evictionsNvm : ctr_.evictionsSram);
+    if (dirty_[i])
+        ++*ctr_.writebacksDirty;
     if (probe_)
-        probe_->onEvict(set, way, l.blockNum, l.dirty, isNvmWay(way));
-    l.valid = false;
-    l.dirty = false;
+        probe_->onEvict(set, way, tags_[i], dirty_[i] != 0,
+                        isNvmWay(way));
+    valid_[i] = 0;
+    dirty_[i] = 0;
 }
 
 void
@@ -188,45 +222,45 @@ HybridLlc::writeLine(std::uint32_t set, std::uint32_t way, Addr block,
 {
     // Byte attribution for the write-traffic breakdown studies.
     if (isNvmWay(way)) {
-        const char *bucket;
+        Counter *bucket;
         switch (tracker_.classOf(block)) {
           case ReuseClass::None:
-            bucket = dirty ? "nvm_bytes_none_dirty"
-                           : "nvm_bytes_none_clean";
+            bucket = dirty ? ctr_.nvmBytesNoneDirty
+                           : ctr_.nvmBytesNoneClean;
             break;
           case ReuseClass::Read:
-            bucket = "nvm_bytes_read";
+            bucket = ctr_.nvmBytesRead;
             break;
           default:
-            bucket = "nvm_bytes_write_reuse";
+            bucket = ctr_.nvmBytesWriteReuse;
             break;
         }
-        stats_.counter(bucket) += storedSize(way, ecb);
+        *bucket += storedSize(way, ecb);
     }
-    Line &l = line(set, way);
-    HLLC_ASSERT(!l.valid, "writeLine over a live resident");
+    const std::size_t i = index(set, way);
+    HLLC_ASSERT(!valid_[i], "writeLine over a live resident");
 
     const unsigned stored = storedSize(way, ecb);
     HLLC_ASSERT(frameCapacity(set, way) >= stored,
                 "block (%u B) does not fit frame (%u B)",
                 stored, frameCapacity(set, way));
 
-    l.blockNum = block;
-    l.valid = true;
-    l.dirty = dirty;
-    l.ecbBytes = static_cast<std::uint8_t>(ecb);
-    l.rrpv = maxRrpv - 1; // SRRIP long re-reference insertion
+    tags_[i] = block;
+    valid_[i] = 1;
+    dirty_[i] = dirty ? 1 : 0;
+    ecb_[i] = static_cast<std::uint8_t>(ecb);
+    rrpv_[i] = maxRrpv - 1; // SRRIP long re-reference insertion
     lru_.touch(set, way);
 
     if (isNvmWay(way)) {
         faultMap_->recordWrite(frameOf(set, way), stored);
-        ++stats_.counter("nvm_writes");
-        stats_.counter("nvm_bytes_written") += stored;
-        ++stats_.counter("inserts_nvm");
+        ++*ctr_.nvmWrites;
+        *ctr_.nvmBytesWritten += stored;
+        ++*ctr_.insertsNvm;
         if (dueling_)
             dueling_->recordNvmBytes(set, stored);
     } else {
-        ++stats_.counter("inserts_sram");
+        ++*ctr_.insertsSram;
     }
     if (probe_)
         probe_->onFill(set, way, block, dirty, stored, isNvmWay(way));
@@ -235,16 +269,16 @@ HybridLlc::writeLine(std::uint32_t set, std::uint32_t way, Addr block,
 void
 HybridLlc::migrateToNvm(std::uint32_t set, std::uint32_t way)
 {
-    Line &l = line(set, way);
-    HLLC_ASSERT(l.valid && !isNvmWay(way));
+    const std::size_t i = index(set, way);
+    HLLC_ASSERT(valid_[i] && !isNvmWay(way));
 
-    const Addr block = l.blockNum;
-    const bool dirty = l.dirty;
-    const unsigned ecb = l.ecbBytes;
+    const Addr block = tags_[i];
+    const bool dirty = dirty_[i] != 0;
+    const unsigned ecb = ecb_[i];
 
     const int nvm_way = config_.nvmWays == 0
         ? -1
-        : victimWay(set, config_.sramWays, config_.totalWays(), ecb);
+        : victimWay(set, config_.sramWays, ways_, ecb);
     if (nvm_way < 0) {
         // No NVM frame can take it: plain eviction.
         evict(set, way);
@@ -252,15 +286,15 @@ HybridLlc::migrateToNvm(std::uint32_t set, std::uint32_t way)
     }
 
     // Free the SRAM way without writeback (the block stays in the LLC).
-    l.valid = false;
-    l.dirty = false;
-    ++stats_.counter("evictions_sram");
+    valid_[i] = 0;
+    dirty_[i] = 0;
+    ++*ctr_.evictionsSram;
     if (probe_)
         probe_->onMigrateFree(set, way, block);
 
     evict(set, static_cast<std::uint32_t>(nvm_way));
     writeLine(set, static_cast<std::uint32_t>(nvm_way), block, dirty, ecb);
-    ++stats_.counter("migrations_to_nvm");
+    ++*ctr_.migrationsToNvm;
 }
 
 void
@@ -277,24 +311,26 @@ HybridLlc::insert(Addr block, bool dirty, unsigned ecb)
     // Insertion-mix accounting (motivation studies / debugging).
     switch (ctx.reuse) {
       case ReuseClass::None:
-        ++stats_.counter(dirty ? "ins_none_dirty" : "ins_none_clean");
+        ++*(dirty ? ctr_.insNoneDirty : ctr_.insNoneClean);
         break;
       case ReuseClass::Read:
-        ++stats_.counter(dirty ? "ins_read_dirty" : "ins_read_clean");
+        ++*(dirty ? ctr_.insReadDirty : ctr_.insReadClean);
         break;
       case ReuseClass::Write:
-        ++stats_.counter(dirty ? "ins_write_dirty" : "ins_write_clean");
+        ++*(dirty ? ctr_.insWriteDirty : ctr_.insWriteClean);
         break;
     }
 
-    if (policy_->globalReplacement()) {
+    const PolicyTraits &traits = engine_.traits();
+
+    if (traits.globalReplacement) {
         // BH / BH_CP / SRAM bounds: one (Fit-)LRU across all ways.
-        const int way = victimWay(set, 0, config_.totalWays(), ecb);
+        const int way = victimWay(set, 0, ways_, ecb);
         if (way < 0) {
             // Every live frame is too small: bypass the LLC.
-            ++stats_.counter("bypasses");
+            ++*ctr_.bypasses;
             if (dirty)
-                ++stats_.counter("writebacks_dirty");
+                ++*ctr_.writebacksDirty;
             if (probe_)
                 probe_->onBypass(block, dirty);
             return;
@@ -304,12 +340,12 @@ HybridLlc::insert(Addr block, bool dirty, unsigned ecb)
         return;
     }
 
-    Part part = policy_->choosePart(ctx);
+    Part part = engine_.choosePart(ctx);
 
     if (part == Part::Nvm) {
         const int way = config_.nvmWays == 0
             ? -1
-            : victimWay(set, config_.sramWays, config_.totalWays(), ecb);
+            : victimWay(set, config_.sramWays, ways_, ecb);
         if (way >= 0) {
             evict(set, static_cast<std::uint32_t>(way));
             writeLine(set, static_cast<std::uint32_t>(way), block, dirty,
@@ -318,14 +354,14 @@ HybridLlc::insert(Addr block, bool dirty, unsigned ecb)
         }
         // Doesn't fit in any NVM frame of the set: fall back to SRAM
         // (paper Sec. IV-B).
-        ++stats_.counter("insert_nvm_fallback_sram");
+        ++*ctr_.insertNvmFallbackSram;
         part = Part::Sram;
     }
 
     if (config_.sramWays == 0) {
-        ++stats_.counter("bypasses");
+        ++*ctr_.bypasses;
         if (dirty)
-            ++stats_.counter("writebacks_dirty");
+            ++*ctr_.writebacksDirty;
         if (probe_)
             probe_->onBypass(block, dirty);
         return;
@@ -334,22 +370,22 @@ HybridLlc::insert(Addr block, bool dirty, unsigned ecb)
     // SRAM insertion. Look for an empty way first.
     int way = -1;
     for (std::uint32_t w = 0; w < config_.sramWays; ++w) {
-        if (!line(set, w).valid) {
+        if (!valid_[index(set, w)]) {
             way = static_cast<int>(w);
             break;
         }
     }
 
     if (way < 0) {
-        if (policy_->lhybridSramReplacement()) {
+        if (traits.lhybridSramReplacement) {
             // LHybrid: migrate the MRU loop-block to NVM to free a frame;
             // otherwise evict the LRU (paper Sec. II-C).
             const int lb_way =
                 lru_.mruWay(set, 0, config_.sramWays,
                             [&](std::uint32_t w) {
-                                const Line &l = line(set, w);
-                                return l.valid && !l.dirty &&
-                                       tracker_.classOf(l.blockNum) ==
+                                const std::size_t i = index(set, w);
+                                return valid_[i] != 0 && !dirty_[i] &&
+                                       tracker_.classOf(tags_[i]) ==
                                            ReuseClass::Read;
                             });
             if (lb_way >= 0) {
@@ -363,9 +399,10 @@ HybridLlc::insert(Addr block, bool dirty, unsigned ecb)
             way = lru_.lruWay(set, 0, config_.sramWays,
                               [](std::uint32_t) { return true; });
             HLLC_ASSERT(way >= 0);
-            const Line &victim = line(set, static_cast<std::uint32_t>(way));
-            if (policy_->migrateReadReuseOnSramEviction() && victim.valid &&
-                tracker_.classOf(victim.blockNum) == ReuseClass::Read) {
+            const std::size_t vi =
+                index(set, static_cast<std::uint32_t>(way));
+            if (traits.migrateReadReuseOnSramEviction && valid_[vi] &&
+                tracker_.classOf(tags_[vi]) == ReuseClass::Read) {
                 // CA_RWR: a read-reused SRAM victim moves to NVM instead
                 // of leaving the LLC (paper Sec. IV-B).
                 migrateToNvm(set, static_cast<std::uint32_t>(way));
@@ -383,28 +420,28 @@ HybridLlc::onGetS(Addr block)
 {
     const std::uint32_t set = setOf(block);
     const int way = findWay(set, block);
-    ++stats_.counter("gets");
+    ++*ctr_.gets;
 
     if (way < 0) {
         // Miss: the block is fetched from memory straight into L2 and its
         // reuse history restarts (Sec. III-A).
         tracker_.onMemoryFetch(block);
-        ++stats_.counter("gets_misses");
+        ++*ctr_.getsMisses;
         return AccessOutcome::Miss;
     }
 
-    Line &l = line(set, static_cast<std::uint32_t>(way));
-    tracker_.onLlcHit(block, /*getx=*/false, l.dirty);
-    l.rrpv = 0;
+    const std::size_t i = index(set, static_cast<std::uint32_t>(way));
+    tracker_.onLlcHit(block, /*getx=*/false, dirty_[i] != 0);
+    rrpv_[i] = 0;
     lru_.touch(set, static_cast<std::uint32_t>(way));
     if (dueling_)
         dueling_->recordHit(set);
 
     if (isNvmWay(static_cast<std::uint32_t>(way))) {
-        ++stats_.counter("gets_hits_nvm");
+        ++*ctr_.getsHitsNvm;
         return AccessOutcome::HitNvm;
     }
-    ++stats_.counter("gets_hits_sram");
+    ++*ctr_.getsHitsSram;
     return AccessOutcome::HitSram;
 }
 
@@ -413,31 +450,31 @@ HybridLlc::onGetX(Addr block)
 {
     const std::uint32_t set = setOf(block);
     const int way = findWay(set, block);
-    ++stats_.counter("getx");
+    ++*ctr_.getx;
 
     if (way < 0) {
         tracker_.onMemoryFetch(block);
-        ++stats_.counter("getx_misses");
+        ++*ctr_.getxMisses;
         return AccessOutcome::Miss;
     }
 
-    Line &l = line(set, static_cast<std::uint32_t>(way));
-    tracker_.onLlcHit(block, /*getx=*/true, l.dirty);
+    const std::size_t i = index(set, static_cast<std::uint32_t>(way));
+    tracker_.onLlcHit(block, /*getx=*/true, dirty_[i] != 0);
     if (dueling_)
         dueling_->recordHit(set);
 
     // Invalidate-on-hit: ownership moves to the private levels; the dirty
     // block will be Put back on L2 eviction (Sec. III-A).
     const bool nvm = isNvmWay(static_cast<std::uint32_t>(way));
-    l.valid = false;
-    l.dirty = false;
-    ++stats_.counter("invalidate_on_getx");
+    valid_[i] = 0;
+    dirty_[i] = 0;
+    ++*ctr_.invalidateOnGetx;
 
     if (nvm) {
-        ++stats_.counter("getx_hits_nvm");
+        ++*ctr_.getxHitsNvm;
         return AccessOutcome::HitNvm;
     }
-    ++stats_.counter("getx_hits_sram");
+    ++*ctr_.getxHitsSram;
     return AccessOutcome::HitSram;
 }
 
@@ -446,7 +483,7 @@ HybridLlc::onPut(Addr block, bool dirty, unsigned ecb_bytes)
 {
     HLLC_ASSERT(ecb_bytes >= 2 && ecb_bytes <= blockBytes,
                 "implausible ECB size %u", ecb_bytes);
-    ++stats_.counter(dirty ? "puts_dirty" : "puts_clean");
+    ++*(dirty ? ctr_.putsDirty : ctr_.putsClean);
 
     const std::uint32_t set = setOf(block);
     const int way = findWay(set, block);
@@ -454,27 +491,27 @@ HybridLlc::onPut(Addr block, bool dirty, unsigned ecb_bytes)
     if (way >= 0) {
         // Already resident (the usual case for clean L2 victims whose
         // copy survived in the LLC): no write needed.
-        ++stats_.counter("puts_present");
-        Line &l = line(set, static_cast<std::uint32_t>(way));
-        l.rrpv = 0;
-        lru_.touch(set, static_cast<std::uint32_t>(way));
+        ++*ctr_.putsPresent;
+        const auto uway = static_cast<std::uint32_t>(way);
+        const std::size_t i = index(set, uway);
+        rrpv_[i] = 0;
+        lru_.touch(set, uway);
         if (!dirty)
             return;
         // A dirty Put over a (stale) resident copy rewrites it in place
         // when the frame still fits the new contents.
-        const auto uway = static_cast<std::uint32_t>(way);
         const unsigned stored = storedSize(uway, ecb_bytes);
         if (frameCapacity(set, uway) >= stored) {
-            l.dirty = true;
-            l.ecbBytes = static_cast<std::uint8_t>(ecb_bytes);
+            dirty_[i] = 1;
+            ecb_[i] = static_cast<std::uint8_t>(ecb_bytes);
             if (isNvmWay(uway)) {
                 faultMap_->recordWrite(frameOf(set, uway), stored);
-                ++stats_.counter("nvm_writes");
-                stats_.counter("nvm_bytes_written") += stored;
+                ++*ctr_.nvmWrites;
+                *ctr_.nvmBytesWritten += stored;
                 if (dueling_)
                     dueling_->recordNvmBytes(set, stored);
             }
-            ++stats_.counter("inplace_updates");
+            ++*ctr_.inplaceUpdates;
             if (probe_)
                 probe_->onInplaceUpdate(set, uway, block, stored,
                                         isNvmWay(uway));
@@ -483,8 +520,8 @@ HybridLlc::onPut(Addr block, bool dirty, unsigned ecb_bytes)
         // Grew past the frame's capacity: relocate.
         if (probe_)
             probe_->onRelocate(set, uway, block);
-        l.valid = false;
-        l.dirty = false;
+        valid_[i] = 0;
+        dirty_[i] = 0;
     }
 
     insert(block, dirty, ecb_bytes);
@@ -541,16 +578,14 @@ HybridLlc::cpthForSet(std::uint32_t set) const
 std::uint64_t
 HybridLlc::demandHits() const
 {
-    return stats_.counterValue("gets_hits_sram") +
-           stats_.counterValue("gets_hits_nvm") +
-           stats_.counterValue("getx_hits_sram") +
-           stats_.counterValue("getx_hits_nvm");
+    return ctr_.getsHitsSram->value() + ctr_.getsHitsNvm->value() +
+           ctr_.getxHitsSram->value() + ctr_.getxHitsNvm->value();
 }
 
 std::uint64_t
 HybridLlc::demandAccesses() const
 {
-    return stats_.counterValue("gets") + stats_.counterValue("getx");
+    return ctr_.gets->value() + ctr_.getx->value();
 }
 
 double
@@ -569,16 +604,15 @@ HybridLlc::revalidateAgainstFaultMap()
     if (config_.nvmWays == 0)
         return;
     for (std::uint32_t set = 0; set < config_.numSets; ++set) {
-        for (std::uint32_t w = config_.sramWays; w < config_.totalWays();
-             ++w) {
-            Line &l = line(set, w);
-            if (!l.valid)
+        for (std::uint32_t w = config_.sramWays; w < ways_; ++w) {
+            const std::size_t i = index(set, w);
+            if (!valid_[i])
                 continue;
-            const unsigned stored = storedSize(w, l.ecbBytes);
+            const unsigned stored = storedSize(w, ecb_[i]);
             if (frameCapacity(set, w) < stored) {
-                l.valid = false;
-                l.dirty = false;
-                ++stats_.counter("aged_out");
+                valid_[i] = 0;
+                dirty_[i] = 0;
+                ++*ctr_.agedOut;
             }
         }
     }
@@ -587,10 +621,8 @@ HybridLlc::revalidateAgainstFaultMap()
 void
 HybridLlc::reset()
 {
-    for (auto &l : lines_) {
-        l.valid = false;
-        l.dirty = false;
-    }
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
     tracker_.clear();
 }
 

@@ -14,6 +14,16 @@
  * effective capacity); SRAM always stores blocks uncompressed. Every
  * byte deposited in an NVM frame is recorded against the fault map for
  * the forecast's aging phases.
+ *
+ * Implementation notes for the replay hot path: the tag store is kept as
+ * structure-of-arrays (tags / valid / dirty / ecb / rrpv in separate
+ * flat vectors) so the per-access findWay() scan touches one contiguous
+ * tag row instead of striding over 24-byte line records; every stats
+ * counter the event paths bump is resolved to a Counter pointer once at
+ * construction (std::map nodes are pointer-stable) so no per-event
+ * string-keyed map lookups remain; and insertion decisions dispatch
+ * through the inline PolicyEngine variant instead of the virtual
+ * InsertionPolicy (kept for configuration and introspection).
  */
 
 #ifndef HLLC_HYBRID_HYBRID_LLC_HH
@@ -26,6 +36,7 @@
 #include "common/stats.hh"
 #include "fault/fault_map.hh"
 #include "hybrid/insertion_policy.hh"
+#include "hybrid/policy_engine.hh"
 #include "hybrid/reuse_tracker.hh"
 #include "hybrid/set_dueling.hh"
 #include "hybrid/types.hh"
@@ -171,8 +182,8 @@ class HybridLlc
     };
     LineView lineView(std::uint32_t set, std::uint32_t way) const
     {
-        const Line &l = line(set, way);
-        return { l.blockNum, l.valid, l.dirty, l.ecbBytes };
+        const std::size_t i = index(set, way);
+        return { tags_[i], valid_[i] != 0, dirty_[i] != 0, ecb_[i] };
     }
     ///@}
 
@@ -189,10 +200,12 @@ class HybridLlc
     std::uint64_t demandAccesses() const;
     /** demandHits / demandAccesses. */
     double hitRate() const;
+    /** NVM block writes so far (cached counter; replayer hot path). */
+    std::uint64_t nvmWrites() const { return ctr_.nvmWrites->value(); }
     /** Total bytes deposited into NVM frames. */
     std::uint64_t nvmBytesWritten() const
     {
-        return stats_.counterValue("nvm_bytes_written");
+        return ctr_.nvmBytesWritten->value();
     }
     void resetStats() { stats_.resetAll(); }
     ///@}
@@ -207,29 +220,12 @@ class HybridLlc
     void reset();
 
   private:
-    struct Line
-    {
-        Addr blockNum = 0;
-        bool valid = false;
-        bool dirty = false;
-        /** ECB size of the contents (64 when incompressible). */
-        std::uint8_t ecbBytes = 0;
-        /** SRRIP re-reference prediction value (0 = imminent). */
-        std::uint8_t rrpv = 0;
-    };
-
     /** SRRIP maximum RRPV (2-bit counters). */
     static constexpr std::uint8_t maxRrpv = 3;
 
-    Line &line(std::uint32_t set, std::uint32_t way)
+    std::size_t index(std::uint32_t set, std::uint32_t way) const
     {
-        return lines_[static_cast<std::size_t>(set) *
-                      config_.totalWays() + way];
-    }
-    const Line &line(std::uint32_t set, std::uint32_t way) const
-    {
-        return lines_[static_cast<std::size_t>(set) *
-                      config_.totalWays() + way];
+        return static_cast<std::size_t>(set) * ways_ + way;
     }
 
     bool isNvmWay(std::uint32_t way) const
@@ -248,7 +244,15 @@ class HybridLlc
     unsigned frameCapacity(std::uint32_t set, std::uint32_t way) const;
 
     /** Bytes a block of ECB size @p ecb occupies in @p way. */
-    unsigned storedSize(std::uint32_t way, unsigned ecb) const;
+    unsigned
+    storedSize(std::uint32_t way, unsigned ecb) const
+    {
+        // SRAM stores blocks uncompressed; NVM stores the ECB when the
+        // policy compresses, raw frames otherwise.
+        if (isNvmWay(way) && engine_.traits().usesCompression)
+            return ecb;
+        return blockBytes;
+    }
 
     int findWay(std::uint32_t set, Addr block) const;
 
@@ -277,15 +281,45 @@ class HybridLlc
     /** The main insertion path (policy steering + replacement). */
     void insert(Addr block, bool dirty, unsigned ecb);
 
+    /**
+     * Every per-event counter, resolved once at construction. The
+     * pointees live in stats_'s std::map, whose nodes are
+     * pointer-stable across resetAll() and (in-place) restore().
+     */
+    struct HotCounters
+    {
+        Counter *agedOut, *bypasses, *evictionsNvm, *evictionsSram,
+            *gets, *getsHitsNvm, *getsHitsSram, *getsMisses,
+            *getx, *getxHitsNvm, *getxHitsSram, *getxMisses,
+            *inplaceUpdates,
+            *insNoneClean, *insNoneDirty, *insReadClean, *insReadDirty,
+            *insWriteClean, *insWriteDirty,
+            *insertNvmFallbackSram, *insertsNvm, *insertsSram,
+            *invalidateOnGetx, *migrationsToNvm,
+            *nvmBytesNoneClean, *nvmBytesNoneDirty, *nvmBytesRead,
+            *nvmBytesWriteReuse, *nvmBytesWritten, *nvmWrites,
+            *putsClean, *putsDirty, *putsPresent, *writebacksDirty;
+    };
+
     HybridLlcConfig config_;
     std::unique_ptr<InsertionPolicy> policy_;
+    PolicyEngine engine_;
     fault::FaultMap *faultMap_;
     LlcProbe *probe_ = nullptr;
-    std::vector<Line> lines_;
+
+    /** Tag store, structure-of-arrays (one entry per set x way). */
+    std::uint32_t ways_; //!< cached totalWays()
+    std::vector<Addr> tags_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint8_t> ecb_;  //!< 64 when incompressible
+    std::vector<std::uint8_t> rrpv_; //!< SRRIP prediction (0 = imminent)
+
     cache::LruState lru_;
     ReuseTracker tracker_;
     std::unique_ptr<SetDueling> dueling_;
     StatGroup stats_;
+    HotCounters ctr_;
 };
 
 } // namespace hllc::hybrid

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Static-dispatch twin of the InsertionPolicy class hierarchy.
+ *
+ * The virtual InsertionPolicy objects stay the configuration-time source
+ * of truth (factory, names, granularity checks, introspection), but the
+ * per-access path must not pay a virtual call per decision: choosePart()
+ * runs for every insertion and the structural trait queries
+ * (usesCompression, globalReplacement, ...) run for every access via
+ * storedSize(). PolicyEngine mirrors each policy as a tiny stateless (or
+ * parameter-only) decider in a std::variant, so the LLC's insert path
+ * dispatches with one branch table and the decision logic inlines.
+ *
+ * The decision rules here must match the virtual implementations in
+ * policy_*.cc bit for bit; the golden-model differential tests replay
+ * both against each other to enforce that.
+ */
+
+#ifndef HLLC_HYBRID_POLICY_ENGINE_HH
+#define HLLC_HYBRID_POLICY_ENGINE_HH
+
+#include <variant>
+
+#include "hybrid/insertion_policy.hh"
+#include "hybrid/types.hh"
+
+namespace hllc::hybrid
+{
+
+/**
+ * Structural features of a policy, resolved once at construction so the
+ * per-access path reads plain bools instead of virtual trait getters.
+ */
+struct PolicyTraits
+{
+    bool usesCompression = false;
+    bool globalReplacement = false;
+    bool migrateReadReuseOnSramEviction = false;
+    bool lhybridSramReplacement = false;
+    bool usesSetDueling = false;
+};
+
+namespace detail
+{
+
+/** BH / BH_CP / SRAM bound: part choice is irrelevant (global LRU). */
+struct GlobalDecider
+{
+    Part choosePart(const InsertContext &) const { return Part::Sram; }
+};
+
+/** CA: small blocks (ECB <= CPth) to NVM, big blocks to SRAM. */
+struct CaDecider
+{
+    Part
+    choosePart(const InsertContext &ctx) const
+    {
+        return ctx.ecbBytes <= ctx.cpth ? Part::Nvm : Part::Sram;
+    }
+};
+
+/** CA_RWR / CP_SD family: paper Table II steering. */
+struct CaRwrDecider
+{
+    Part
+    choosePart(const InsertContext &ctx) const
+    {
+        switch (ctx.reuse) {
+          case ReuseClass::Read:
+            return Part::Nvm;
+          case ReuseClass::Write:
+            return Part::Sram;
+          case ReuseClass::None:
+            return CaDecider{}.choosePart(ctx);
+        }
+        return Part::Sram;
+    }
+};
+
+/** LHybrid: clean read-reused blocks (loop-blocks) to NVM. */
+struct LHybridDecider
+{
+    Part
+    choosePart(const InsertContext &ctx) const
+    {
+        if (!ctx.dirty && ctx.reuse == ReuseClass::Read)
+            return Part::Nvm;
+        return Part::Sram;
+    }
+};
+
+/** TAP: clean thrashing-blocks (hits >= threshold) to NVM. */
+struct TapDecider
+{
+    unsigned hitThreshold;
+
+    Part
+    choosePart(const InsertContext &ctx) const
+    {
+        if (!ctx.dirty && ctx.reuse != ReuseClass::Write &&
+            ctx.hits >= hitThreshold) {
+            return Part::Nvm;
+        }
+        return Part::Sram;
+    }
+};
+
+} // namespace detail
+
+/** Inline-dispatch insertion decider + cached structural traits. */
+class PolicyEngine
+{
+  public:
+    /** Mirror @p policy (already constructed by the factory). */
+    explicit PolicyEngine(const InsertionPolicy &policy,
+                          const PolicyParams &params)
+        : traits_{ policy.usesCompression(), policy.globalReplacement(),
+                   policy.migrateReadReuseOnSramEviction(),
+                   policy.lhybridSramReplacement(),
+                   policy.usesSetDueling() }
+    {
+        switch (policy.kind()) {
+          case PolicyKind::SramOnly:
+          case PolicyKind::Bh:
+          case PolicyKind::BhCp:
+            impl_ = detail::GlobalDecider{};
+            break;
+          case PolicyKind::Ca:
+            impl_ = detail::CaDecider{};
+            break;
+          case PolicyKind::CaRwr:
+          case PolicyKind::CpSd:
+          case PolicyKind::CpSdTh:
+            impl_ = detail::CaRwrDecider{};
+            break;
+          case PolicyKind::LHybrid:
+            impl_ = detail::LHybridDecider{};
+            break;
+          case PolicyKind::Tap:
+            impl_ = detail::TapDecider{ params.tapThreshold };
+            break;
+        }
+    }
+
+    Part
+    choosePart(const InsertContext &ctx) const
+    {
+        return std::visit(
+            [&ctx](const auto &d) { return d.choosePart(ctx); }, impl_);
+    }
+
+    const PolicyTraits &traits() const { return traits_; }
+
+  private:
+    std::variant<detail::GlobalDecider, detail::CaDecider,
+                 detail::CaRwrDecider, detail::LHybridDecider,
+                 detail::TapDecider>
+        impl_;
+    PolicyTraits traits_;
+};
+
+} // namespace hllc::hybrid
+
+#endif // HLLC_HYBRID_POLICY_ENGINE_HH

@@ -40,59 +40,19 @@ SetDueling::SetDueling(std::uint32_t num_sets,
     // one leader set more than the rest, biasing the hit/bytes race
     // toward low-index (small-CPth) candidates. Keep leader groups
     // equal-sized by making the trailing sets plain followers.
-    leaderSets_ = num_sets - num_sets % duelingSlots;
+    const std::uint32_t leader_sets = num_sets - num_sets % duelingSlots;
+    groupOf_.assign(num_sets, -1);
+    for (std::uint32_t set = 0; set < leader_sets; ++set) {
+        const std::uint32_t slot = set % duelingSlots;
+        if (slot < candidates_.size())
+            groupOf_[set] = static_cast<std::int8_t>(slot);
+    }
 
     // Start following the largest CPth: closest to the unconstrained
     // (BH-like) insertion behaviour until the first epoch resolves.
     winner_ = candidates_.back();
     hits_.assign(candidates_.size(), 0);
     bytes_.assign(candidates_.size(), 0);
-}
-
-int
-SetDueling::leaderGroup(std::uint32_t set) const
-{
-    if (set >= leaderSets_)
-        return -1; // partial trailing stripe: followers only
-    const std::uint32_t slot = set % duelingSlots;
-    return slot < candidates_.size() ? static_cast<int>(slot) : -1;
-}
-
-unsigned
-SetDueling::cpthForSet(std::uint32_t set) const
-{
-    const int group = leaderGroup(set);
-    return group < 0 ? winner_
-                     : candidates_[static_cast<std::size_t>(group)];
-}
-
-void
-SetDueling::recordHit(std::uint32_t set)
-{
-    const int group = leaderGroup(set);
-    if (group >= 0)
-        ++hits_[static_cast<std::size_t>(group)];
-}
-
-void
-SetDueling::recordNvmBytes(std::uint32_t set, unsigned bytes)
-{
-    const int group = leaderGroup(set);
-    if (group >= 0)
-        bytes_[static_cast<std::size_t>(group)] += bytes;
-}
-
-bool
-SetDueling::tick(Cycle cycles)
-{
-    clock_ += cycles;
-    bool crossed = false;
-    while (clock_ >= epochCycles_) {
-        clock_ -= epochCycles_;
-        closeEpoch();
-        crossed = true;
-    }
-    return crossed;
 }
 
 void

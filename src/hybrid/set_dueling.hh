@@ -50,26 +50,60 @@ class SetDueling
                double th_percent,
                double tw_percent);
 
-    /** Leader-group index of @p set, or -1 for follower sets. */
-    int leaderGroup(std::uint32_t set) const;
+    /**
+     * Leader-group index of @p set, or -1 for follower sets. The mapping
+     * is fixed at construction, so it is precomputed into a flat per-set
+     * table: cpthForSet()/recordHit()/recordNvmBytes() run for every
+     * demand access and must be one load plus one branch.
+     */
+    int leaderGroup(std::uint32_t set) const { return groupOf_[set]; }
 
     /** CPth this set applies right now. */
-    unsigned cpthForSet(std::uint32_t set) const;
+    unsigned
+    cpthForSet(std::uint32_t set) const
+    {
+        const int group = groupOf_[set];
+        return group < 0 ? winner_
+                         : candidates_[static_cast<std::size_t>(group)];
+    }
 
     /** Currently winning CPth (what follower sets use). */
     unsigned winner() const { return winner_; }
 
     /** Record an LLC hit in @p set (leaders only accumulate). */
-    void recordHit(std::uint32_t set);
+    void
+    recordHit(std::uint32_t set)
+    {
+        const int group = groupOf_[set];
+        if (group >= 0)
+            ++hits_[static_cast<std::size_t>(group)];
+    }
 
     /** Record @p bytes written to the NVM part in @p set. */
-    void recordNvmBytes(std::uint32_t set, unsigned bytes);
+    void
+    recordNvmBytes(std::uint32_t set, unsigned bytes)
+    {
+        const int group = groupOf_[set];
+        if (group >= 0)
+            bytes_[static_cast<std::size_t>(group)] += bytes;
+    }
 
     /**
      * Advance the epoch clock by @p cycles; recomputes the winner at each
      * epoch boundary. @return true if an epoch boundary was crossed.
      */
-    bool tick(Cycle cycles);
+    bool
+    tick(Cycle cycles)
+    {
+        clock_ += cycles;
+        if (clock_ < epochCycles_)
+            return false;
+        do {
+            clock_ -= epochCycles_;
+            closeEpoch();
+        } while (clock_ >= epochCycles_);
+        return true;
+    }
 
     /** Epochs completed so far. */
     std::uint64_t epochsCompleted() const { return epochs_; }
@@ -112,8 +146,8 @@ class SetDueling
     double th_;
     double tw_;
 
-    /** Sets in full 32-slot stripes; trailing sets are followers. */
-    std::uint32_t leaderSets_ = 0;
+    /** Per-set leader-group index (-1 = follower), fixed at construction. */
+    std::vector<std::int8_t> groupOf_;
 
     unsigned winner_;
     Cycle clock_ = 0;

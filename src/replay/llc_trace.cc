@@ -1,5 +1,7 @@
 #include "replay/llc_trace.hh"
 
+#include <algorithm>
+
 #include "common/numfmt.hh"
 #include "common/serialize.hh"
 
@@ -24,6 +26,11 @@ constexpr std::uint32_t maxNameLen = 4096;
 constexpr std::size_t v1EventStride = 16;
 /** On-disk v1 per-core metadata stride: 5 x u64 + f64. */
 constexpr std::size_t v1CoreStride = 48;
+/** On-disk v2 event record stride: u64 + 3 x u8, unpadded. */
+constexpr std::size_t v2EventStride = 11;
+
+/** Events staged per Decoder::raw() call by the batched loaders. */
+constexpr std::size_t decodeBatch = 4096;
 
 hybrid::LlcEventType
 checkedEventType(std::uint8_t raw, const std::string &path)
@@ -32,6 +39,47 @@ checkedEventType(std::uint8_t raw, const std::string &path)
         throw IoError("trace file '" + path + "' has invalid event type " +
                       formatU64(raw));
     return static_cast<hybrid::LlcEventType>(raw);
+}
+
+/** Little-endian u64 from an unaligned record pointer. */
+std::uint64_t
+readU64Le(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/**
+ * Decode @p count event records of @p stride bytes in batches: one
+ * bounds-checked Decoder::raw() per ~4096 records into a staging buffer,
+ * then plain pointer unpacking, instead of four Decoder calls (each with
+ * its own bounds check) per event. The event count was validated against
+ * the bytes actually present by the caller, and reserve() is clamped to
+ * that bound again here so a miscounted header can never over-allocate.
+ */
+void
+decodeEventRecords(serial::Decoder &dec, std::uint64_t count,
+                   std::size_t stride, const std::string &path,
+                   LlcTrace &trace)
+{
+    const std::uint64_t fit = dec.remaining() / stride;
+    trace.reserve(static_cast<std::size_t>(std::min(count, fit)));
+
+    std::vector<std::uint8_t> buf(decodeBatch * stride);
+    std::uint64_t done = 0;
+    while (done < count) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(decodeBatch, count - done));
+        dec.raw(buf.data(), n * stride);
+        const std::uint8_t *p = buf.data();
+        for (std::size_t i = 0; i < n; ++i, p += stride) {
+            trace.append(hybrid::LlcEvent{
+                readU64Le(p), checkedEventType(p[8], path), p[9], p[10] });
+        }
+        done += n;
+    }
 }
 
 /**
@@ -71,18 +119,7 @@ loadV1(serial::Decoder &dec, const std::string &path)
     if (count > dec.remaining() / v1EventStride)
         throw IoError("trace file '" + path +
                       "' declares more events than the file holds");
-    trace.reserve(static_cast<std::size_t>(count));
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const std::uint64_t block = dec.u64();
-        const std::uint8_t type = dec.u8();
-        const std::uint8_t ecb = dec.u8();
-        const std::uint8_t core = dec.u8();
-        std::uint8_t pad[5];
-        dec.raw(pad, sizeof(pad)); // v1 struct padding
-        trace.append(hybrid::LlcEvent{ block,
-                                       checkedEventType(type, path), ecb,
-                                       core });
-    }
+    decodeEventRecords(dec, count, v1EventStride, path, trace);
     if (!dec.atEnd())
         throw IoError("trace file '" + path +
                       "' has trailing bytes after the event stream");
@@ -115,19 +152,10 @@ loadV2(const std::vector<std::uint8_t> &bytes, const std::string &path)
 
     serial::Decoder evts = container.open("evts");
     const std::uint64_t count = evts.u64();
-    if (count > evts.remaining() / 11) // u64 + 3 x u8 per event
+    if (count > evts.remaining() / v2EventStride)
         throw IoError("trace file '" + path +
                       "' declares more events than the chunk holds");
-    trace.reserve(static_cast<std::size_t>(count));
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const std::uint64_t block = evts.u64();
-        const std::uint8_t type = evts.u8();
-        const std::uint8_t ecb = evts.u8();
-        const std::uint8_t core = evts.u8();
-        trace.append(hybrid::LlcEvent{ block,
-                                       checkedEventType(type, path), ecb,
-                                       core });
-    }
+    decodeEventRecords(evts, count, v2EventStride, path, trace);
     return trace;
 }
 

@@ -77,8 +77,7 @@ TraceReplayer::replay(const LlcTrace &trace, hybrid::HybridLlc &llc,
             }
         } else {
             // Attribute NVM write growth to the core issuing the Put.
-            const std::uint64_t writes =
-                llc.stats().counterValue("nvm_writes");
+            const std::uint64_t writes = llc.nvmWrites();
             if (writes > nvm_writes_at_measure_start) {
                 core.nvmWrites += writes - nvm_writes_at_measure_start;
             }
@@ -94,7 +93,7 @@ TraceReplayer::replay(const LlcTrace &trace, hybrid::HybridLlc &llc,
             snap.measuredEvents = result.measuredEvents;
             snap.demandAccesses = llc.demandAccesses();
             snap.demandHits = llc.demandHits();
-            snap.nvmWrites = llc.stats().counterValue("nvm_writes");
+            snap.nvmWrites = llc.nvmWrites();
             snap.nvmBytesWritten = llc.nvmBytesWritten();
             on_interval(snap);
             ++next_interval;

@@ -304,8 +304,13 @@ runAndPrintForecastStudy(const Experiment &experiment,
     }
     inform("forecasting %zu policies (%u jobs)...", entries.size(),
            resolveJobs(config.jobs));
+    // The per-step metric series feed the stats export and travel in
+    // checkpoints (a resumed run must export byte-identically); a study
+    // doing neither prints only the summary tables, so skip sampling.
+    forecast::ForecastConfig run_fc = fc;
+    run_fc.collectSeries = checkpoint.enabled() || !stats_out.empty();
     const ForecastGridOutcome outcome = runForecastGridCheckpointed(
-        experiment, entries, fc, checkpoint);
+        experiment, entries, run_fc, checkpoint);
 
     if (outcome.interrupted) {
         // A partial grid is not the study: skip the result tables, keep

@@ -139,15 +139,26 @@ class CellHeartbeat
   public:
     CellHeartbeat(const char *kind, std::size_t index, std::size_t total,
                   const std::string &label)
-        : kind_(kind), index_(index), total_(total), label_(label),
-          start_(std::chrono::steady_clock::now())
+        : enabled_(logEnabled(LogLevel::Inform))
     {
+        // Everything below only feeds inform(); when that is suppressed,
+        // skip the label copy and the clock read too (per-cell heartbeats
+        // run inside tight grid loops).
+        if (!enabled_)
+            return;
+        kind_ = kind;
+        index_ = index;
+        total_ = total;
+        label_ = label;
+        start_ = std::chrono::steady_clock::now();
         inform("%s cell %zu/%zu (%s) started", kind_, index_ + 1, total_,
                label_.c_str());
     }
 
     void done(const char *status)
     {
+        if (!enabled_)
+            return;
         const double seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start_).count();
@@ -156,9 +167,10 @@ class CellHeartbeat
     }
 
   private:
-    const char *kind_;
-    std::size_t index_;
-    std::size_t total_;
+    bool enabled_;
+    const char *kind_ = nullptr;
+    std::size_t index_ = 0;
+    std::size_t total_ = 0;
     std::string label_;
     std::chrono::steady_clock::time_point start_;
 };
