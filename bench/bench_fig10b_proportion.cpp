@@ -43,5 +43,6 @@ main(int argc, char **argv)
     };
     return sim::runAndPrintForecastStudy(
         experiment, entries, {}, sim::parseCheckpointArgs(argc, argv),
-        sim::parseStatsOutArg(argc, argv));
+        sim::parseStatsOutArg(argc, argv),
+        sim::parseResilienceArgs(argc, argv));
 }

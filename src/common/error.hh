@@ -41,6 +41,21 @@ class IoError : public Error
 };
 
 /**
+ * A grid cell overran its watchdog deadline and was cooperatively
+ * cancelled. Deliberately NOT retried: a cell that is too slow once
+ * will be too slow again, so the grid quarantines it immediately
+ * instead of burning the retry budget.
+ */
+class DeadlineExceededError : public Error
+{
+  public:
+    explicit DeadlineExceededError(const std::string &what_arg)
+        : Error(what_arg)
+    {
+    }
+};
+
+/**
  * A statistic was looked up by a name that was never registered —
  * almost always a typo in the caller, which silently fabricating a 0
  * would hide.

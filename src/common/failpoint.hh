@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic fault injection: named, compiled-in failpoints.
+ *
+ * Every hard-to-reach failure path in the tree (atomic-write syscalls,
+ * trace decode, checkpoint save/restore, worker bodies, stats export)
+ * carries a named failpoint that is compiled in unconditionally and
+ * costs one relaxed atomic load when no chaos is configured. Activating
+ * one turns the happy path into the failure path on a *deterministic*
+ * schedule, so every chaos campaign is reproducible from its seed:
+ *
+ *     HLLC_FAILPOINTS="serialize.write.fsync=nth:3" build/bench/...
+ *
+ * Trigger grammar (per failpoint, `;`-separated in the spec string):
+ *
+ *     <name>=nth:<N>        fire exactly once, on the Nth hit (1-based)
+ *     <name>=every:<K>      fire on every Kth hit
+ *     <name>=prob:<P>@<S>   fire each hit with probability P, drawn
+ *                           from mix64(S, name hash, hit index) — the
+ *                           outcome of hit #i is a pure function of
+ *                           (spec, name, i), never of thread timing
+ *     <name>=off            registered but inactive (overrides)
+ *
+ * The catalog of names is closed: configure() rejects a name that no
+ * site declares (allFailpoints()), so a typo in a chaos spec fails
+ * loudly instead of injecting nothing. What "firing" means is fixed by
+ * the site: most sites throw IoError via HLLC_FAILPOINT(); special
+ * sites (payload corruption, short writes, stalls) consult shouldFail()
+ * and act in kind. DESIGN.md §12 documents every site's semantics.
+ *
+ * Thread safety: configuration is mutex-protected and hit counters are
+ * per-failpoint; grid workers may evaluate failpoints concurrently.
+ * Which *thread* observes hit #N is scheduling-dependent, but the
+ * fire/no-fire decision for hit #N never is.
+ */
+
+#ifndef HLLC_COMMON_FAILPOINT_HH
+#define HLLC_COMMON_FAILPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace hllc::failpoint
+{
+
+/**
+ * Count one hit of failpoint @p name and return whether it fires.
+ * Near-free (one relaxed load) while nothing is configured. @p name
+ * must be a catalog name (see allFailpoints()); unknown names never
+ * fire (sites cannot throw on behalf of a typo — configure() already
+ * rejects unknown names at configuration time).
+ */
+bool shouldFail(const char *name);
+
+/**
+ * Parse and apply a chaos spec ("name=trigger[;name=trigger...]").
+ * Later entries override earlier ones for the same name; an empty spec
+ * is a no-op. Throws IoError on syntax errors or unknown names,
+ * leaving the previous configuration untouched.
+ */
+void configure(const std::string &spec);
+
+/**
+ * Apply the HLLC_FAILPOINTS environment variable (no-op when unset).
+ * Called once, lazily, before the first shouldFail() evaluation, so
+ * tools need no explicit setup. A malformed value is a CLI
+ * configuration error and fatal()s (the lazy call can sit under any
+ * call stack, where a throw would terminate instead of diagnose).
+ */
+void configureFromEnv();
+
+/** Clear all configuration, hit counters and the fired log (tests). */
+void reset();
+
+/** The closed catalog of failpoint names, in documentation order. */
+const std::vector<std::string> &allFailpoints();
+
+/** One failpoint activation that actually fired. */
+struct FiredEvent
+{
+    std::string name;
+    std::uint64_t hit = 0; //!< 1-based hit index that fired
+};
+
+/**
+ * Every fire since the last reset()/drainFired(), in fire order
+ * (bounded; see failpoint.cc). Feeds the hllc-failures-v1 report so a
+ * quarantined cell names the fault that killed it.
+ */
+std::vector<FiredEvent> drainFired();
+
+} // namespace hllc::failpoint
+
+/**
+ * The standard failpoint site: count a hit and, when it fires, throw
+ * IoError with a message naming the failpoint (the marker the failure
+ * report greps for). @p name must be a string literal.
+ */
+#define HLLC_FAILPOINT(name)                                            \
+    do {                                                                \
+        if (::hllc::failpoint::shouldFail(name)) {                      \
+            throw ::hllc::IoError(                                      \
+                "injected fault at failpoint '" name "'");              \
+        }                                                               \
+    } while (0)
+
+#endif // HLLC_COMMON_FAILPOINT_HH

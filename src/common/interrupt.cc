@@ -1,7 +1,11 @@
 #include "common/interrupt.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
+
+#include "common/sync.hh"
 
 namespace hllc
 {
@@ -11,6 +15,25 @@ namespace
 
 std::atomic<int> pendingSignal{ 0 };
 std::atomic<bool> handlersInstalled{ false };
+
+/**
+ * Wakes interruptibleSleepMs() early on requestInterrupt(). A signal
+ * handler cannot touch a condition variable (not async-signal-safe), so
+ * signal-driven interrupts are instead observed by the <= 50 ms polling
+ * slices of the sleep loop.
+ */
+struct SleepGate
+{
+    Mutex mutex;
+    CondVar cv;
+};
+
+SleepGate &
+sleepGate()
+{
+    static SleepGate gate;
+    return gate;
+}
 
 extern "C" void
 interruptFlagHandler(int sig)
@@ -57,6 +80,7 @@ void
 requestInterrupt(int signal_number)
 {
     pendingSignal.store(signal_number, std::memory_order_relaxed);
+    sleepGate().cv.notifyAll();
 }
 
 void
@@ -66,6 +90,30 @@ clearInterrupt()
     // Allow a later checkpointed run to reinstall fresh handlers (the
     // flag handler resets itself to SIG_DFL after firing).
     handlersInstalled.store(false, std::memory_order_relaxed);
+}
+
+bool
+interruptibleSleepMs(std::uint64_t ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(ms);
+    SleepGate &gate = sleepGate();
+    MutexLock lock(gate.mutex);
+    while (!interruptRequested()) {
+        const auto now = Clock::now();
+        if (now >= deadline)
+            return false;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count();
+        // Cap the slice so a *signal*-set flag (which cannot notify
+        // the CV) is still observed within 50 ms.
+        const std::uint64_t slice = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(left) + 1, 50);
+        gate.cv.waitFor(gate.mutex, slice);
+    }
+    return true;
 }
 
 } // namespace hllc

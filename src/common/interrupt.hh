@@ -18,6 +18,7 @@
 #ifndef HLLC_COMMON_INTERRUPT_HH
 #define HLLC_COMMON_INTERRUPT_HH
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace hllc
@@ -46,6 +47,15 @@ void requestInterrupt(int signal_number);
 
 /** Clear the flag (tests; a fresh run after handling a stop). */
 void clearInterrupt();
+
+/**
+ * Sleep for @p ms milliseconds, waking early when an interrupt arrives
+ * (checked at most 50 ms apart; requestInterrupt() wakes immediately).
+ * Returns true when the sleep was cut short by a pending interrupt.
+ * Retry/backoff delays and watchdog cadences must use this instead of
+ * plain sleeps so SIGINT/SIGTERM drains a retrying grid promptly.
+ */
+bool interruptibleSleepMs(std::uint64_t ms);
 
 /**
  * Thrown by checkpoint-aware loops after they persisted their state in

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/error.hh"
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "common/numfmt.hh"
 #include "common/serialize.hh"
@@ -361,6 +362,7 @@ writeStatsFile(const std::string &path,
     else
         throw IoError("--stats-out path must end in .json or .csv: " +
                       path);
+    HLLC_FAILPOINT("stats.export");
     serial::writeFileAtomic(path, body.data(), body.size());
 }
 

@@ -6,8 +6,10 @@
 #include <cstring>
 #include <memory>
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include "common/failpoint.hh"
 #include "common/numfmt.hh"
 
 namespace hllc::serial
@@ -347,35 +349,111 @@ Container::load(const std::string &path, std::uint32_t magic,
 // Whole-file I/O
 // ---------------------------------------------------------------------
 
-void
-writeFileAtomic(const std::string &path, const void *data,
-                std::size_t size)
+namespace
 {
-    const std::string tmp = path + ".tmp";
+
+/**
+ * fsync the directory containing @p path, so the rename that just made
+ * a file visible is itself durable (a crash after rename but before
+ * the directory reaches disk can otherwise resurrect the old version —
+ * or nothing at all).
+ */
+void
+syncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        throw IoError("cannot open directory '" + dir +
+                      "' for fsync: " + errnoMessage());
+    const int rc = ::fsync(fd);
+    const int saved_errno = errno;
+    ::close(fd);
+    if (rc != 0) {
+        errno = saved_errno;
+        throw IoError("fsync of directory '" + dir + "' failed: " +
+                      errnoMessage());
+    }
+    HLLC_FAILPOINT("serialize.write.dirsync");
+}
+
+/** The body of writeFileAtomic, minus tmp-file cleanup on failure. */
+void
+writeFileAtomicImpl(const std::string &path, const std::string &tmp,
+                    const void *data, std::size_t size)
+{
     {
+        HLLC_FAILPOINT("serialize.write.open");
         FilePtr f(std::fopen(tmp.c_str(), "wb"));
         if (!f)
             throw IoError("cannot open '" + tmp + "' for writing: " +
                           errnoMessage());
-        if (size > 0 && std::fwrite(data, 1, size, f.get()) != size)
+        // Injected short write: persist only a prefix, then fail the
+        // way a full disk does — the bytes are already in the file.
+        std::size_t write_size = size;
+        if (failpoint::shouldFail("serialize.write.short"))
+            write_size = size / 2;
+        // Injected corruption: flip one payload bit on the way out, so
+        // the rename succeeds but the CRC check rejects the file.
+        std::vector<std::uint8_t> corrupted;
+        const void *write_data = data;
+        if (size > 0 && failpoint::shouldFail("serialize.write.corrupt")) {
+            const auto *p = static_cast<const std::uint8_t *>(data);
+            corrupted.assign(p, p + size);
+            corrupted[size / 2] ^= 0x01;
+            write_data = corrupted.data();
+        }
+        if (write_size > 0 &&
+            std::fwrite(write_data, 1, write_size, f.get()) != write_size)
             throw IoError("short write to '" + tmp + "'");
+        if (write_size != size)
+            throw IoError("short write to '" + tmp +
+                          "' (injected fault at failpoint "
+                          "'serialize.write.short')");
         if (std::fflush(f.get()) != 0)
             throw IoError("flush of '" + tmp + "' failed: " +
                           errnoMessage());
         // The data must be durable before the rename makes it visible,
         // or a crash could leave a renamed-but-empty file.
+        HLLC_FAILPOINT("serialize.write.fsync");
         if (::fsync(::fileno(f.get())) != 0)
             throw IoError("fsync of '" + tmp + "' failed: " +
                           errnoMessage());
     }
+    HLLC_FAILPOINT("serialize.write.rename");
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         throw IoError("rename '" + tmp + "' -> '" + path + "' failed: " +
                       errnoMessage());
+    syncParentDir(path);
+}
+
+} // anonymous namespace
+
+void
+writeFileAtomic(const std::string &path, const void *data,
+                std::size_t size)
+{
+    const std::string tmp = path + ".tmp";
+    // A crash between fopen and rename in a previous run leaves an
+    // orphaned tmp file; fopen("wb") would truncate it anyway, but an
+    // orphan must also not outlive a *failed* write below.
+    std::remove(tmp.c_str());
+    try {
+        writeFileAtomicImpl(path, tmp, data, size);
+    } catch (...) {
+        // Never leave a partial tmp file behind: the next writer (or a
+        // resume scan) must only ever see fully-renamed files.
+        std::remove(tmp.c_str());
+        throw;
+    }
 }
 
 std::vector<std::uint8_t>
 readFileBytes(const std::string &path)
 {
+    HLLC_FAILPOINT("serialize.read");
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
         throw IoError("cannot open '" + path + "': " + errnoMessage());

@@ -159,7 +159,12 @@ class Container
 
 /**
  * Crash-safe whole-file write: the bytes land in "<path>.tmp", are
- * fsync()ed, and replace @p path via rename(2). Throws IoError.
+ * fsync()ed, replace @p path via rename(2), and the parent directory is
+ * fsync()ed so the rename itself survives a crash. An orphaned tmp file
+ * from a previous crash is removed first, and a failed write never
+ * leaves its own tmp file behind. Throws IoError; on failure @p path is
+ * either untouched or already fully replaced (the rename is the commit
+ * point).
  */
 void writeFileAtomic(const std::string &path, const void *data,
                      std::size_t size);

@@ -22,7 +22,9 @@
 #ifndef HLLC_COMMON_SYNC_HH
 #define HLLC_COMMON_SYNC_HH
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "common/thread_annotations.hh"
@@ -87,6 +89,22 @@ class CondVar
                                           std::adopt_lock);
         cv_.wait(lock);
         lock.release();
+    }
+
+    /**
+     * Wait for up to @p timeout_ms milliseconds (monotonic clock).
+     * Returns false on timeout, true when notified (possibly
+     * spuriously — re-check the predicate either way).
+     */
+    bool
+    waitFor(Mutex &mutex, std::uint64_t timeout_ms) HLLC_REQUIRES(mutex)
+    {
+        std::unique_lock<std::mutex> lock(mutex.native(),
+                                          std::adopt_lock);
+        const auto status =
+            cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms));
+        lock.release();
+        return status == std::cv_status::no_timeout;
     }
 
   private:

@@ -2,8 +2,32 @@
 
 #include <cstdlib>
 
+#include "common/failpoint.hh"
+#include "common/interrupt.hh"
+
 namespace hllc
 {
+
+namespace
+{
+
+/**
+ * Chaos instrumentation around every parallelFor body: an injected
+ * throw proves worker exceptions stay contained to their index, an
+ * injected stall (25 ms, interruptible) widens scheduling windows so
+ * watchdog/drain races actually happen under test.
+ */
+void
+runInstrumentedBody(const std::function<void(std::size_t)> &body,
+                    std::size_t i)
+{
+    HLLC_FAILPOINT("threadpool.task.throw");
+    if (failpoint::shouldFail("threadpool.task.stall"))
+        interruptibleSleepMs(25);
+    body(i);
+}
+
+} // anonymous namespace
 
 ThreadPool::ThreadPool(unsigned num_workers)
 {
@@ -64,7 +88,7 @@ parallelFor(unsigned jobs, std::size_t n,
 {
     if (jobs <= 1 || n <= 1) {
         for (std::size_t i = 0; i < n; ++i)
-            body(i);
+            runInstrumentedBody(body, i);
         return;
     }
 
@@ -72,7 +96,8 @@ parallelFor(unsigned jobs, std::size_t n,
     std::vector<std::future<void>> pending;
     pending.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
-        pending.push_back(pool.submit([&body, i] { body(i); }));
+        pending.push_back(
+            pool.submit([&body, i] { runInstrumentedBody(body, i); }));
 
     // Wait on every iteration (even after a failure, so that bodies
     // referencing caller state never outlive this frame), then rethrow

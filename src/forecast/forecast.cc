@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/error.hh"
+#include "common/failpoint.hh"
+#include "common/numfmt.hh"
 #include "common/interrupt.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
@@ -223,6 +226,8 @@ ForecastEngine::saveCheckpoint(const std::string &path, std::size_t step,
 {
     metrics::ScopedPhaseTimer timer(metrics::Phase::CheckpointWrite);
 
+    HLLC_FAILPOINT("forecast.checkpoint.save");
+
     serial::Container container;
 
     serial::Encoder &meta = container.add("meta");
@@ -264,6 +269,7 @@ ForecastEngine::loadCheckpoint(const std::string &path,
                                std::vector<ForecastPoint> &series,
                                Seconds &now)
 {
+    HLLC_FAILPOINT("forecast.checkpoint.load");
     const serial::Container container = serial::Container::load(
         path, checkpointMagic, checkpointVersion, checkpointVersion);
 
@@ -382,6 +388,23 @@ ForecastEngine::run(const RunOptions &options)
                      options.checkpointPath.c_str(), e.what());
             }
             throw InterruptedError();
+        }
+        // Watchdog cancellation mirrors the interrupt path: persist,
+        // then unwind with the non-retryable deadline error.
+        if (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed)) {
+            if (checkpointing) {
+                try {
+                    saveCheckpoint(options.checkpointPath, step, now,
+                                   series, *map, *llc);
+                } catch (const IoError &e) {
+                    warn("final checkpoint '%s' failed: %s",
+                         options.checkpointPath.c_str(), e.what());
+                }
+            }
+            throw DeadlineExceededError(
+                "forecast run cancelled by watchdog at step " +
+                formatU64(step));
         }
         if (options.stopAfterSteps > 0 &&
             executed >= options.stopAfterSteps) {

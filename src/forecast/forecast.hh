@@ -10,6 +10,7 @@
 #ifndef HLLC_FORECAST_FORECAST_HH
 #define HLLC_FORECAST_FORECAST_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,13 @@ struct RunOptions
      * tests and time-budgeted batch runs.
      */
     std::size_t stopAfterSteps = 0;
+    /**
+     * Cooperative cancellation token (grid watchdogs). When non-null
+     * and set, the step loop writes a final checkpoint (when
+     * checkpointing) and unwinds with DeadlineExceededError, exactly
+     * like the interrupt path but per-run instead of process-wide.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** One sample of the forecast output. */

@@ -15,6 +15,7 @@ namespace
 
 const char *const kDeterminism = "determinism";
 const char *const kAtomicIo = "atomic-io";
+const char *const kAtomicRename = "atomic-rename";
 const char *const kLocale = "locale";
 const char *const kNoExit = "no-exit-in-library";
 const char *const kHeaderHygiene = "header-hygiene";
@@ -286,6 +287,34 @@ checkAtomicIo(FileLint &ctx)
 }
 
 void
+checkAtomicRename(FileLint &ctx)
+{
+    // serialize.cc owns the rename(2) that commits an atomic write (and
+    // fsyncs the parent directory afterwards); everywhere else a raw
+    // rename publishes a file whose durability is unknown.
+    if (startsWith(ctx.path, "src/common/serialize."))
+        return;
+    static const std::set<std::string> calls = { "rename", "renameat",
+                                                 "renameat2" };
+    const CodeView &v = ctx.view;
+    for (std::size_t i = 0; i < v.code.size(); ++i) {
+        const Token &tok = v.code[i];
+        if (tok.kind != TokKind::Identifier || v.memberAccessBefore(i))
+            continue;
+        if (calls.count(tok.text) == 0 || !v.callAfter(i))
+            continue;
+        const std::string qual = v.qualifierBefore(i);
+        if (!qual.empty() && qual != "std" && qual != "filesystem")
+            continue; // somebody else's rename()
+        ctx.report(kAtomicRename, tok.line,
+                   "'" + tok.text + "' outside common/serialize bypasses"
+                   " the atomic-write protocol (tmp + fsync + rename +"
+                   " parent-dir fsync); go through"
+                   " serial::writeFileAtomic");
+    }
+}
+
+void
 checkLocale(FileLint &ctx)
 {
     if (startsWith(ctx.path, "src/common/numfmt."))
@@ -544,8 +573,8 @@ const std::vector<std::string> &
 allRules()
 {
     static const std::vector<std::string> rules = {
-        kDeterminism, kAtomicIo, kLocale, kNoExit, kHeaderHygiene,
-        kSuppression,
+        kDeterminism, kAtomicIo, kAtomicRename, kLocale, kNoExit,
+        kHeaderHygiene, kSuppression,
     };
     return rules;
 }
@@ -570,6 +599,8 @@ lintSource(const std::string &path, const std::string &content,
         checkDeterminism(ctx);
     if (options.ruleEnabled(kAtomicIo))
         checkAtomicIo(ctx);
+    if (options.ruleEnabled(kAtomicRename))
+        checkAtomicRename(ctx);
     if (options.ruleEnabled(kLocale))
         checkLocale(ctx);
     if (options.ruleEnabled(kNoExit))

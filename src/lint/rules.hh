@@ -11,6 +11,10 @@
  *  - `atomic-io`: no raw std::ofstream/fopen file creation outside
  *    common/serialize — everything written goes through
  *    writeFileAtomic so a crash never leaves a torn file.
+ *  - `atomic-rename`: no raw rename()/renameat()/renameat2() outside
+ *    common/serialize — the commit step of an atomic write belongs to
+ *    writeFileAtomic, which also fsyncs the file and its parent
+ *    directory so the published name survives a power cut.
  *  - `locale`: no std::to_string/setprecision/strtod-family formatting
  *    or parsing outside common/numfmt — a de_DE process locale must
  *    not turn "0.25" into "0,25" in machine-readable output.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.hh"
 #include "common/numfmt.hh"
 #include "common/serialize.hh"
 
@@ -192,6 +193,7 @@ LlcTrace::save(const std::string &path) const
 LlcTrace
 LlcTrace::load(const std::string &path)
 {
+    HLLC_FAILPOINT("trace.decode");
     const std::vector<std::uint8_t> bytes = serial::readFileBytes(path);
     serial::Decoder dec(bytes);
     if (dec.remaining() < 4)

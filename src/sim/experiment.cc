@@ -41,6 +41,13 @@ Experiment::Experiment(SystemConfig config, std::size_t num_mixes)
     });
 }
 
+Experiment::Experiment(SystemConfig config,
+                       std::vector<replay::LlcTrace> traces)
+    : config_(config), traces_(std::move(traces))
+{
+    HLLC_ASSERT(!traces_.empty());
+}
+
 std::vector<const LlcTrace *>
 Experiment::tracePtrs() const
 {
@@ -278,7 +285,8 @@ runAndPrintForecastStudy(const Experiment &experiment,
                          const std::vector<StudyEntry> &entries,
                          const forecast::ForecastConfig &fc,
                          const CheckpointOptions &checkpoint,
-                         const std::string &stats_out)
+                         const std::string &stats_out,
+                         const ResilienceOptions &resilience)
 {
     const SystemConfig &config = experiment.config();
     const double upper = experiment.upperBoundIpc();
@@ -309,8 +317,10 @@ runAndPrintForecastStudy(const Experiment &experiment,
     // doing neither prints only the summary tables, so skip sampling.
     forecast::ForecastConfig run_fc = fc;
     run_fc.collectSeries = checkpoint.enabled() || !stats_out.empty();
+    if (resilience.retry.maxAttempts > 1 || resilience.cellTimeoutMs > 0)
+        installInterruptHandlers(); // retry sleeps must stay drainable
     const ForecastGridOutcome outcome = runForecastGridCheckpointed(
-        experiment, entries, run_fc, checkpoint);
+        experiment, entries, run_fc, checkpoint, resilience);
 
     if (outcome.interrupted) {
         // A partial grid is not the study: skip the result tables, keep
@@ -361,10 +371,23 @@ runAndPrintForecastStudy(const Experiment &experiment,
     }
     reportPhaseTimers();
 
+    for (const CellReport &report : outcome.reports) {
+        if (report.status == CellStatus::Recovered) {
+            std::fprintf(stderr,
+                         "warning: cell %zu (%s) recovered after %zu "
+                         "attempts\n",
+                         report.index, report.label.c_str(),
+                         report.attempts);
+        }
+    }
     for (const CellFailure &failure : outcome.failures) {
         std::fprintf(stderr, "error: cell %zu (%s) failed: %s\n",
                      failure.index, failure.label.c_str(),
                      failure.error.c_str());
+    }
+    if (!resilience.failuresOut.empty()) {
+        inform("wrote failure report to '%s'",
+               resilience.failuresOut.c_str());
     }
     return outcome.exitCode();
 }

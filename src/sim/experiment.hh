@@ -16,6 +16,7 @@
 #include "common/metrics.hh"
 #include "forecast/forecast.hh"
 #include "sim/config.hh"
+#include "sim/resilience.hh"
 #include "workload/mixes.hh"
 
 namespace hllc::sim
@@ -65,6 +66,12 @@ struct ForecastGridOutcome
     /** Successful cells, in entry order (failed cells are absent). */
     std::vector<ForecastSummary> summaries;
     std::vector<CellFailure> failures;
+    /**
+     * Per-cell resilience reports in entry order (every cell, including
+     * clean ones): attempts, outcome, error kind, fired failpoints —
+     * the rows of the hllc-failures-v1 report.
+     */
+    std::vector<CellReport> reports;
     /** True when a SIGINT/SIGTERM stopped the grid mid-run. */
     bool interrupted = false;
 
@@ -100,6 +107,15 @@ class Experiment
      * traces are bit-identical regardless of the jobs value.
      */
     explicit Experiment(SystemConfig config, std::size_t num_mixes = 10);
+
+    /**
+     * Adopt pre-captured traces instead of capturing (trace-cache
+     * workflows, e.g. tools/hllc_torture reloading .hlt files across
+     * process respawns). The traces must have been captured under the
+     * same @p config for results to be comparable.
+     */
+    Experiment(SystemConfig config,
+               std::vector<replay::LlcTrace> traces);
 
     const SystemConfig &config() const { return config_; }
     const std::vector<replay::LlcTrace> &traces() const { return traces_; }
@@ -188,6 +204,12 @@ struct StudyEntry
  * simulated state, so a resumed run writes a byte-identical file to an
  * uninterrupted one. Nothing is exported on interrupt.
  *
+ * With @p resilience configured (CLI: sim::parseResilienceArgs), failing
+ * cells retry with deterministic backoff and quarantine after their
+ * attempt budget, slow cells are cancelled by a watchdog, and the
+ * per-cell hllc-failures-v1 report lands at resilience.failuresOut —
+ * see sim/resilience.hh.
+ *
  * @return the process exit code: 0 clean, 1 if any cell failed,
  *         128+signal when interrupted (see ForecastGridOutcome).
  */
@@ -195,7 +217,8 @@ int runAndPrintForecastStudy(const Experiment &experiment,
                              const std::vector<StudyEntry> &entries,
                              const forecast::ForecastConfig &fc = {},
                              const CheckpointOptions &checkpoint = {},
-                             const std::string &stats_out = {});
+                             const std::string &stats_out = {},
+                             const ResilienceOptions &resilience = {});
 
 /**
  * Write a "hllc-stats-v1" stats file for a replay-phase study (the

@@ -6,6 +6,7 @@
 #include <sys/stat.h>
 
 #include "common/argparse.hh"
+#include "common/failpoint.hh"
 #include "common/interrupt.hh"
 #include "common/logging.hh"
 #include "common/numfmt.hh"
@@ -124,9 +125,7 @@ namespace
 struct CellOutcome
 {
     ForecastSummary summary;
-    std::string error;
-    bool failed = false;
-    bool interrupted = false;
+    CellReport report;
 };
 
 /**
@@ -182,6 +181,7 @@ runForecastGridCheckpointed(const Experiment &experiment,
                             const std::vector<StudyEntry> &entries,
                             const forecast::ForecastConfig &fc,
                             const CheckpointOptions &checkpoint,
+                            const ResilienceOptions &resilience,
                             unsigned jobs)
 {
     if (jobs == 0)
@@ -192,48 +192,94 @@ runForecastGridCheckpointed(const Experiment &experiment,
                   checkpoint.dir.c_str(), std::strerror(errno));
     }
 
+    GridWatchdog watchdog(resilience.cellTimeoutMs);
+
     std::vector<CellOutcome> cells = runGrid(
         entries.size(),
         [&](std::size_t i) {
             CellOutcome out;
-            forecast::RunOptions run_options;
-            if (checkpoint.enabled()) {
-                run_options.checkpointPath =
-                    checkpointCellPath(checkpoint, i, entries[i].label);
-                run_options.checkpointEvery = checkpoint.every;
-                run_options.resume = checkpoint.resume;
-            }
             CellHeartbeat heartbeat("forecast", i, entries.size(),
                                     entries[i].label);
-            try {
-                out.summary = experiment.runForecast(
-                    entries[i].llc, entries[i].label, fc, run_options);
-                heartbeat.done("finished");
-            } catch (const InterruptedError &) {
-                out.interrupted = true;
-                heartbeat.done("interrupted");
-            } catch (const std::exception &e) {
-                out.failed = true;
-                out.error = e.what();
-                heartbeat.done("failed");
-            } catch (...) {
-                out.failed = true;
-                out.error = "unknown error";
-                heartbeat.done("failed");
-            }
+            const RetryResult rr = runWithRetry(
+                resilience.retry, i, [&](std::size_t attempt) {
+                    // Chaos sites inside the retry boundary: an injected
+                    // throw exercises per-cell quarantine/recovery, an
+                    // injected stall overruns the watchdog deadline.
+                    HLLC_FAILPOINT("grid.cell.throw");
+                    if (failpoint::shouldFail("grid.cell.stall")) {
+                        const std::uint64_t stall =
+                            resilience.cellTimeoutMs > 0
+                                ? std::min<std::uint64_t>(
+                                      resilience.cellTimeoutMs * 2, 5000)
+                                : 100;
+                        interruptibleSleepMs(stall);
+                    }
+                    forecast::RunOptions run_options;
+                    if (checkpoint.enabled()) {
+                        run_options.checkpointPath = checkpointCellPath(
+                            checkpoint, i, entries[i].label);
+                        run_options.checkpointEvery = checkpoint.every;
+                        // A retry resumes from whatever the failed
+                        // attempt managed to checkpoint (falling back to
+                        // scratch when nothing valid landed) — both are
+                        // byte-identical to never having failed.
+                        run_options.resume =
+                            checkpoint.resume || attempt > 0;
+                    }
+                    GridWatchdog::Scope scope(watchdog, i,
+                                              entries[i].label);
+                    run_options.cancel = scope.cancelFlag();
+                    out.summary = experiment.runForecast(
+                        entries[i].llc, entries[i].label, fc,
+                        run_options);
+                });
+            out.report.index = i;
+            out.report.label = entries[i].label;
+            out.report.attempts = rr.attempts;
+            out.report.status = rr.status;
+            out.report.error = rr.error;
+            out.report.errorKind = rr.errorKind;
+            out.report.failpoints = rr.failpoints;
+            heartbeat.done(cellStatusName(rr.status));
             return out;
         },
         jobs);
 
     ForecastGridOutcome outcome;
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        if (cells[i].interrupted)
-            outcome.interrupted = true;
-        else if (cells[i].failed)
-            outcome.failures.push_back(
-                { i, entries[i].label, std::move(cells[i].error) });
-        else
+        outcome.reports.push_back(cells[i].report);
+        switch (cells[i].report.status) {
+        case CellStatus::Ok:
+        case CellStatus::Recovered:
             outcome.summaries.push_back(std::move(cells[i].summary));
+            break;
+        case CellStatus::Interrupted:
+            outcome.interrupted = true;
+            break;
+        case CellStatus::Quarantined:
+        case CellStatus::TimedOut:
+            // reports[i] already holds its own copy of the error text.
+            outcome.failures.push_back(
+                { i, entries[i].label,
+                  std::move(cells[i].report.error) });
+            break;
+        }
+    }
+    if (!resilience.failuresOut.empty()) {
+        // The report is diagnostics riding alongside the results: its
+        // write retries under the same policy as the cells (write-site
+        // chaos must not unwind a completed grid), and a persistent
+        // failure degrades to a warning instead of discarding the run.
+        const RetryResult written = runWithRetry(
+            resilience.retry, entries.size(), [&](std::size_t) {
+                writeFailureReport(resilience.failuresOut,
+                                   outcome.reports);
+            });
+        if (!(written.status == CellStatus::Ok ||
+              written.status == CellStatus::Recovered)) {
+            warn("cannot write failure report '%s': %s",
+                 resilience.failuresOut.c_str(), written.error.c_str());
+        }
     }
     return outcome;
 }

@@ -113,12 +113,20 @@ runForecastGrid(const Experiment &experiment,
  * common/interrupt.hh) marks the outcome interrupted after each running
  * cell has written its final checkpoint. Successful summaries keep
  * entry order, so the output stays byte-identical for any jobs value.
+ *
+ * @p resilience adds self-healing on top (see sim/resilience.hh):
+ * failing cells retry up to their attempt budget (resuming from their
+ * checkpoint when checkpointing is on, which is byte-identical to never
+ * having failed), a watchdog cancels cells overrunning cellTimeoutMs,
+ * and every cell's outcome is recorded in ForecastGridOutcome::reports
+ * (written to resilience.failuresOut as hllc-failures-v1 when set).
  */
 ForecastGridOutcome
 runForecastGridCheckpointed(const Experiment &experiment,
                             const std::vector<StudyEntry> &entries,
                             const forecast::ForecastConfig &fc = {},
                             const CheckpointOptions &checkpoint = {},
+                            const ResilienceOptions &resilience = {},
                             unsigned jobs = 0);
 
 /**

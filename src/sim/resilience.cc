@@ -1,0 +1,398 @@
+#include "sim/resilience.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/argparse.hh"
+#include "common/error.hh"
+#include "common/interrupt.hh"
+#include "common/logging.hh"
+#include "common/numfmt.hh"
+#include "common/rng.hh"
+#include "common/serialize.hh"
+
+namespace hllc::sim
+{
+
+namespace
+{
+
+/** JSON string escaping (control chars, quote, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xF];
+                out += hex[c & 0xF];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Merge @p names into @p into, preserving first-seen order. */
+void
+mergeNames(std::vector<std::string> &into,
+           const std::vector<std::string> &names)
+{
+    for (const std::string &name : names) {
+        if (std::find(into.begin(), into.end(), name) == into.end())
+            into.push_back(name);
+    }
+}
+
+} // anonymous namespace
+
+std::uint64_t
+retryDelayMs(const RetryPolicy &policy, std::size_t retry,
+             std::size_t cell_index)
+{
+    if (retry == 0)
+        return 0;
+    // min(base * 2^(retry-1), max) with shift clamped so a huge retry
+    // count cannot overflow into a zero delay.
+    const unsigned shift =
+        static_cast<unsigned>(std::min<std::size_t>(retry - 1, 32));
+    std::uint64_t delay = policy.baseDelayMs << shift;
+    if (policy.baseDelayMs != 0 && (delay >> shift) != policy.baseDelayMs)
+        delay = policy.maxDelayMs;
+    delay = std::min(delay, policy.maxDelayMs);
+    // +-25% deterministic jitter: a pure function of (seed, cell,
+    // retry), so the schedule replays exactly while cells retrying the
+    // same broken resource stay desynchronised.
+    const std::uint64_t draw = mix64(
+        policy.jitterSeed ^ mix64(cell_index * 2654435761ULL + retry));
+    const std::uint64_t quarter = delay / 4;
+    if (quarter > 0)
+        delay = delay - quarter + draw % (2 * quarter + 1);
+    return delay;
+}
+
+const char *
+cellStatusName(CellStatus status)
+{
+    switch (status) {
+    case CellStatus::Ok:
+        return "ok";
+    case CellStatus::Recovered:
+        return "recovered";
+    case CellStatus::Quarantined:
+        return "quarantined";
+    case CellStatus::TimedOut:
+        return "timed-out";
+    case CellStatus::Interrupted:
+        return "interrupted";
+    }
+    return "unknown";
+}
+
+ResilienceOptions
+parseResilienceArgs(int argc, char **argv)
+{
+    ResilienceOptions options;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--retries") == 0) {
+            if (i + 1 >= argc)
+                fatal("--retries requires a count");
+            const auto parsed = parseU64(argv[i + 1], 0);
+            if (!parsed || *parsed > 100)
+                fatal("bad --retries value '%s'", argv[i + 1]);
+            options.retry.maxAttempts =
+                static_cast<std::size_t>(*parsed) + 1;
+            ++i;
+        } else if (std::strcmp(argv[i], "--retry-delay-ms") == 0) {
+            if (i + 1 >= argc)
+                fatal("--retry-delay-ms requires a value");
+            const auto parsed = parseU64(argv[i + 1], 0);
+            if (!parsed)
+                fatal("bad --retry-delay-ms value '%s'", argv[i + 1]);
+            options.retry.baseDelayMs = *parsed;
+            ++i;
+        } else if (std::strcmp(argv[i], "--retry-jitter-seed") == 0) {
+            if (i + 1 >= argc)
+                fatal("--retry-jitter-seed requires a value");
+            const auto parsed = parseU64(argv[i + 1], 0);
+            if (!parsed)
+                fatal("bad --retry-jitter-seed value '%s'", argv[i + 1]);
+            options.retry.jitterSeed = *parsed;
+            ++i;
+        } else if (std::strcmp(argv[i], "--cell-timeout-ms") == 0) {
+            if (i + 1 >= argc)
+                fatal("--cell-timeout-ms requires a value");
+            const auto parsed = parseU64(argv[i + 1], 1);
+            if (!parsed)
+                fatal("bad --cell-timeout-ms value '%s'", argv[i + 1]);
+            options.cellTimeoutMs = *parsed;
+            ++i;
+        } else if (std::strcmp(argv[i], "--failures-out") == 0) {
+            if (i + 1 >= argc)
+                fatal("--failures-out requires a file path");
+            const std::string path = argv[i + 1];
+            if (path.size() < 5 ||
+                path.compare(path.size() - 5, 5, ".json") != 0)
+                fatal("--failures-out path '%s' must end in .json",
+                      path.c_str());
+            options.failuresOut = path;
+            ++i;
+        }
+    }
+    return options;
+}
+
+std::vector<std::string>
+extractFailpointNames(const std::string &error)
+{
+    // Error messages quote the failpoint as: ... failpoint '<name>'
+    static const char marker[] = "failpoint '";
+    std::vector<std::string> names;
+    std::size_t pos = 0;
+    while ((pos = error.find(marker, pos)) != std::string::npos) {
+        pos += sizeof(marker) - 1;
+        const std::size_t end = error.find('\'', pos);
+        if (end == std::string::npos)
+            break;
+        mergeNames(names, { error.substr(pos, end - pos) });
+        pos = end + 1;
+    }
+    return names;
+}
+
+RetryResult
+runWithRetry(const RetryPolicy &policy, std::size_t cell_index,
+             const std::function<void(std::size_t)> &body)
+{
+    const std::size_t max_attempts =
+        std::max<std::size_t>(policy.maxAttempts, 1);
+    RetryResult result;
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        result.attempts = attempt + 1;
+        try {
+            body(attempt);
+            result.status = attempt == 0 ? CellStatus::Ok
+                                         : CellStatus::Recovered;
+            return result;
+        } catch (const InterruptedError &) {
+            result.status = CellStatus::Interrupted;
+            result.error = "interrupted";
+            result.errorKind = "interrupt";
+            return result;
+        } catch (const DeadlineExceededError &e) {
+            result.status = CellStatus::TimedOut;
+            result.error = e.what();
+            result.errorKind = "deadline";
+            mergeNames(result.failpoints,
+                       extractFailpointNames(result.error));
+            return result;
+        } catch (const IoError &e) {
+            result.error = e.what();
+            result.errorKind = "io";
+        } catch (const std::exception &e) {
+            result.error = e.what();
+            result.errorKind = "std";
+        } catch (...) {
+            // The old catch (...) arm recorded only "unknown error";
+            // keep the marker explicit and the cell identity attached.
+            result.error = "non-std::exception thrown by cell " +
+                           formatU64(cell_index);
+            result.errorKind = "non-std::exception";
+        }
+        mergeNames(result.failpoints,
+                   extractFailpointNames(result.error));
+        if (attempt + 1 >= max_attempts)
+            break;
+        const std::uint64_t delay =
+            retryDelayMs(policy, attempt + 1, cell_index);
+        warn("cell %zu attempt %zu/%zu failed (%s); retrying in %llu ms",
+             cell_index, attempt + 1, max_attempts, result.error.c_str(),
+             static_cast<unsigned long long>(delay));
+        if (interruptibleSleepMs(delay)) {
+            result.status = CellStatus::Interrupted;
+            result.errorKind = "interrupt";
+            return result;
+        }
+    }
+    result.status = CellStatus::Quarantined;
+    return result;
+}
+
+std::string
+failureReportToJson(const std::vector<CellReport> &cells)
+{
+    std::size_t counts[5] = { 0, 0, 0, 0, 0 };
+    for (const CellReport &cell : cells)
+        ++counts[static_cast<std::size_t>(cell.status)];
+
+    std::string out;
+    out += "{\n  \"schema\": \"hllc-failures-v1\",\n";
+    out += "  \"cells\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellReport &cell = cells[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"index\": " + formatU64(cell.index);
+        out += ", \"label\": \"" + jsonEscape(cell.label) + "\"";
+        out += ", \"attempts\": " + formatU64(cell.attempts);
+        out += ", \"outcome\": \"";
+        out += cellStatusName(cell.status);
+        out += "\", \"error\": \"" + jsonEscape(cell.error) + "\"";
+        out += ", \"error_kind\": \"" + jsonEscape(cell.errorKind) + "\"";
+        out += ", \"failpoints\": [";
+        for (std::size_t f = 0; f < cell.failpoints.size(); ++f) {
+            if (f > 0)
+                out += ", ";
+            out += "\"" + jsonEscape(cell.failpoints[f]) + "\"";
+        }
+        out += "]}";
+    }
+    out += cells.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"total\": " + formatU64(cells.size()) + ",\n";
+    out += "  \"ok\": " +
+           formatU64(counts[static_cast<std::size_t>(CellStatus::Ok)]) +
+           ",\n";
+    out += "  \"recovered\": " +
+           formatU64(
+               counts[static_cast<std::size_t>(CellStatus::Recovered)]) +
+           ",\n";
+    out += "  \"quarantined\": " +
+           formatU64(
+               counts[static_cast<std::size_t>(CellStatus::Quarantined)]) +
+           ",\n";
+    out += "  \"timed_out\": " +
+           formatU64(
+               counts[static_cast<std::size_t>(CellStatus::TimedOut)]) +
+           ",\n";
+    out += "  \"interrupted\": " +
+           formatU64(
+               counts[static_cast<std::size_t>(CellStatus::Interrupted)]) +
+           "\n}\n";
+    return out;
+}
+
+void
+writeFailureReport(const std::string &path,
+                   const std::vector<CellReport> &cells)
+{
+    const std::string body = failureReportToJson(cells);
+    serial::writeFileAtomic(path, body.data(), body.size());
+}
+
+// ---------------------------------------------------------------------
+// GridWatchdog
+// ---------------------------------------------------------------------
+
+GridWatchdog::GridWatchdog(std::uint64_t timeout_ms)
+    : timeoutMs_(timeout_ms)
+{
+    if (timeoutMs_ > 0)
+        monitor_ = std::thread([this] { monitorLoop(); });
+}
+
+GridWatchdog::~GridWatchdog()
+{
+    if (!monitor_.joinable())
+        return;
+    {
+        MutexLock lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notifyAll();
+    monitor_.join();
+}
+
+std::shared_ptr<std::atomic<bool>>
+GridWatchdog::watch(std::size_t index, const std::string &label)
+{
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    if (timeoutMs_ == 0)
+        return cancel; // inert: flag exists but nothing ever sets it
+    Entry entry;
+    entry.index = index;
+    entry.label = label;
+    entry.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(timeoutMs_);
+    entry.cancel = cancel;
+    {
+        MutexLock lock(mutex_);
+        entries_.push_back(std::move(entry));
+    }
+    wake_.notifyAll();
+    return cancel;
+}
+
+void
+GridWatchdog::unwatch(const std::atomic<bool> *token)
+{
+    if (timeoutMs_ == 0)
+        return;
+    MutexLock lock(mutex_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].cancel.get() == token) {
+            entries_.erase(entries_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+void
+GridWatchdog::monitorLoop()
+{
+    // Wake at a quarter of the deadline (>= 10 ms, <= 250 ms): overruns
+    // are detected within ~25% of the timeout without busy-polling.
+    const std::uint64_t cadence =
+        std::max<std::uint64_t>(10,
+                                std::min<std::uint64_t>(timeoutMs_ / 4,
+                                                        250));
+    MutexLock lock(mutex_);
+    while (!stopping_) {
+        wake_.waitFor(mutex_, cadence);
+        if (stopping_)
+            return;
+        const auto now = std::chrono::steady_clock::now();
+        for (Entry &entry : entries_) {
+            if (entry.flagged || now < entry.deadline)
+                continue;
+            entry.flagged = true;
+            entry.cancel->store(true, std::memory_order_relaxed);
+            warn("watchdog: cell %zu (%s) exceeded %llu ms; cancelling",
+                 entry.index, entry.label.c_str(),
+                 static_cast<unsigned long long>(timeoutMs_));
+        }
+    }
+}
+
+GridWatchdog::Scope::Scope(GridWatchdog &watchdog, std::size_t index,
+                           const std::string &label)
+    : watchdog_(watchdog), cancel_(watchdog.watch(index, label))
+{
+}
+
+GridWatchdog::Scope::~Scope()
+{
+    watchdog_.unwatch(cancel_.get());
+}
+
+} // namespace hllc::sim

@@ -150,6 +150,55 @@ TEST(LintAtomicIo, SerializeModuleIsExempt)
 }
 
 // --------------------------------------------------------------------
+// atomic-rename
+// --------------------------------------------------------------------
+
+TEST(LintAtomicRename, FiresOnRawRename)
+{
+    const std::string src =
+        "void f() { std::rename(\"a.tmp\", \"a.json\"); }\n";
+    EXPECT_EQ(countRule(run("src/sim/corpus.cc", src), "atomic-rename"),
+              1u);
+    EXPECT_EQ(countRule(run("src/sim/corpus.cc", src,
+                            without("atomic-rename")),
+                        "atomic-rename"), 0u);
+
+    // Unqualified C rename() and the *at variants are just as raw.
+    EXPECT_EQ(countRule(run("tools/corpus.cpp",
+                            "rename(tmp.c_str(), path.c_str());\n"),
+                        "atomic-rename"), 1u);
+    EXPECT_EQ(countRule(run("src/sim/corpus.cc",
+                            "renameat2(fd, a, fd, b, 0);\n"),
+                        "atomic-rename"), 1u);
+    EXPECT_EQ(countRule(run("src/sim/corpus.cc",
+                            "std::filesystem::rename(a, b);\n"),
+                        "atomic-rename"), 1u);
+}
+
+TEST(LintAtomicRename, SilentOnLookalikes)
+{
+    // A member function named rename belongs to its object...
+    EXPECT_EQ(countRule(run("src/sim/corpus.cc",
+                            "registry.rename(old_name, new_name);\n"),
+                        "atomic-rename"), 0u);
+    // ...and so does a qualified call into some other namespace.
+    EXPECT_EQ(countRule(run("src/sim/corpus.cc",
+                            "db::rename(old_name, new_name);\n"),
+                        "atomic-rename"), 0u);
+    // An identifier merely named rename is not a call.
+    EXPECT_EQ(countRule(run("src/sim/corpus.cc",
+                            "bool rename = false; use(rename);\n"),
+                        "atomic-rename"), 0u);
+}
+
+TEST(LintAtomicRename, SerializeModuleIsExempt)
+{
+    EXPECT_EQ(countRule(run("src/common/serialize.cc",
+                            "std::rename(tmp.c_str(), p.c_str());\n"),
+                        "atomic-rename"), 0u);
+}
+
+// --------------------------------------------------------------------
 // locale
 // --------------------------------------------------------------------
 
