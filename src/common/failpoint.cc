@@ -190,6 +190,13 @@ allFailpoints()
         "grid.cell.throw",         // forecast grid cell body: throw
         "grid.cell.stall",         // forecast grid cell body: stall
         "stats.export",            // metrics::writeStatsFile
+        "serve.accept",            // serve::Server: drop a fresh accept
+        "serve.decode",            // serve::Server: force a frame-decode
+                                   //   failure (error reply path)
+        "serve.dispatch",          // serve::Server: force an OVERLOADED
+                                   //   reply instead of enqueueing
+        "serve.reply",             // serve::Server: fail the reply write
+                                   //   (connection counted dead)
     };
     return names;
 }

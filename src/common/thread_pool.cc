@@ -40,11 +40,24 @@ ThreadPool::ThreadPool(unsigned num_workers)
 
 ThreadPool::~ThreadPool()
 {
+    stop();
+}
+
+void
+ThreadPool::stop()
+{
+    bool join_here = false;
     {
         MutexLock lock(mutex_);
         stopping_ = true;
+        if (!joined_) {
+            joined_ = true;
+            join_here = true;
+        }
     }
     available_.notifyAll();
+    if (!join_here)
+        return;
     for (auto &worker : workers_)
         worker.join();
 }

@@ -22,6 +22,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -33,8 +34,11 @@ namespace hllc
 {
 
 /**
- * Fixed worker count, FIFO dispatch, futures out. Destruction drains the
- * queue: tasks already submitted still run before the workers join.
+ * Fixed worker count, FIFO dispatch, futures out. stop() (or
+ * destruction) drains the queue deterministically: every task accepted
+ * by submit() before the stop runs to completion, and every submit()
+ * attempted after the stop began throws std::runtime_error — a task is
+ * never silently enqueued to a pool whose workers are gone.
  */
 class ThreadPool
 {
@@ -42,7 +46,7 @@ class ThreadPool
     /** @param num_workers worker threads; 0 is clamped to 1. */
     explicit ThreadPool(unsigned num_workers);
 
-    /** Runs every queued task, then joins the workers. */
+    /** stop()s if the caller has not already. */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -54,8 +58,19 @@ class ThreadPool
     }
 
     /**
+     * Drain and join: runs every task already accepted, then joins the
+     * workers. The accept/reject decision is made under the queue lock,
+     * so a submit() racing a stop() either got in before it (its task is
+     * guaranteed to run) or throws — never a silent enqueue. Idempotent:
+     * the first caller joins, later calls return immediately.
+     */
+    void stop();
+
+    /**
      * Queue @p task for execution; the returned future yields its result
-     * or rethrows the exception it exited with.
+     * or rethrows the exception it exited with. Throws
+     * std::runtime_error once stop() has begun (a silently dropped task
+     * would wait on its future forever).
      */
     template <typename F>
     std::future<std::invoke_result_t<F>>
@@ -69,6 +84,11 @@ class ThreadPool
         std::future<R> result = packaged->get_future();
         {
             MutexLock lock(mutex_);
+            if (stopping_) {
+                throw std::runtime_error(
+                    "ThreadPool::submit() after stop(): the task would"
+                    " never run");
+            }
             queue_.emplace_back([packaged] { (*packaged)(); });
         }
         available_.notifyOne();
@@ -83,6 +103,7 @@ class ThreadPool
     CondVar available_;
     std::deque<std::function<void()>> queue_ HLLC_GUARDED_BY(mutex_);
     bool stopping_ HLLC_GUARDED_BY(mutex_) = false;
+    bool joined_ HLLC_GUARDED_BY(mutex_) = false;
 };
 
 /**

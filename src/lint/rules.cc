@@ -83,6 +83,10 @@ layerDeps()
         { "check",
           { "common", "cache", "compression", "fault", "hybrid",
             "workload", "replay", "hierarchy", "forecast", "sim" } },
+        { "serve",
+          { "common", "cache", "compression", "fault", "hybrid",
+            "workload", "replay", "hierarchy", "forecast", "sim",
+            "check" } },
     };
     return deps;
 }

@@ -1,0 +1,307 @@
+#include "serve/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <sys/select.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/numfmt.hh"
+
+namespace hllc::serve
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw IoError(what + ": " + std::strerror(errno));
+}
+
+/** recv() one chunk, retrying EINTR; 0 = EOF, -1 with EAGAIN = timeout. */
+ssize_t
+recvChunk(int fd, void *buf, std::size_t size)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, size, 0);
+        if (n >= 0)
+            return n;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+} // anonymous namespace
+
+Fd &
+Fd::operator=(Fd &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Fd::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Fd::shutdown()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+Listener::Listener(const Endpoint &endpoint)
+{
+    if (!endpoint.unixPath.empty()) {
+        unixPath_ = endpoint.unixPath;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (unixPath_.size() >= sizeof(addr.sun_path)) {
+            throw IoError("unix socket path too long: " + unixPath_);
+        }
+        std::memcpy(addr.sun_path, unixPath_.c_str(),
+                    unixPath_.size() + 1);
+
+        Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid())
+            throwErrno("socket(AF_UNIX)");
+        // A stale socket file from a previous daemon must not block the
+        // restart; bind() would fail with EADDRINUSE on it.
+        ::unlink(unixPath_.c_str());
+        if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            throwErrno("bind('" + unixPath_ + "')");
+        }
+        if (::listen(fd.get(), 128) != 0)
+            throwErrno("listen('" + unixPath_ + "')");
+        fd_ = std::move(fd);
+        return;
+    }
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(endpoint.tcpPort);
+
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        throwErrno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        throwErrno("bind(127.0.0.1:" + formatU64(endpoint.tcpPort) + ")");
+    }
+    if (::listen(fd.get(), 128) != 0)
+        throwErrno("listen(tcp)");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0) {
+        throwErrno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+    fd_ = std::move(fd);
+}
+
+Listener::~Listener()
+{
+    close();
+}
+
+std::optional<Fd>
+Listener::accept(std::uint64_t timeout_ms)
+{
+    if (!fd_.valid())
+        throw IoError("accept on a closed listener");
+
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    fd_set readable;
+    FD_ZERO(&readable);
+    FD_SET(fd_.get(), &readable);
+    const int ready = ::select(fd_.get() + 1, &readable, nullptr,
+                               nullptr, &tv);
+    if (ready < 0) {
+        if (errno == EINTR)
+            return std::nullopt; // signal; caller re-checks its flags
+        throwErrno("select(listen)");
+    }
+    if (ready == 0)
+        return std::nullopt;
+
+    Fd conn(::accept(fd_.get(), nullptr, nullptr));
+    if (!conn.valid()) {
+        // The peer can vanish between select() and accept(); that is
+        // its problem, not the daemon's.
+        return std::nullopt;
+    }
+    return conn;
+}
+
+void
+Listener::close()
+{
+    fd_.close();
+    if (!unixPath_.empty()) {
+        ::unlink(unixPath_.c_str());
+        unixPath_.clear();
+    }
+}
+
+Fd
+connectTo(const Endpoint &endpoint)
+{
+    if (!endpoint.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (endpoint.unixPath.size() >= sizeof(addr.sun_path))
+            throw IoError("unix socket path too long: " +
+                          endpoint.unixPath);
+        std::memcpy(addr.sun_path, endpoint.unixPath.c_str(),
+                    endpoint.unixPath.size() + 1);
+        Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid())
+            throwErrno("socket(AF_UNIX)");
+        if (::connect(fd.get(),
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            throwErrno("connect('" + endpoint.unixPath + "')");
+        }
+        return fd;
+    }
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(endpoint.tcpPort);
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        throwErrno("socket(AF_INET)");
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        throwErrno("connect(127.0.0.1:" + formatU64(endpoint.tcpPort) +
+                   ")");
+    }
+    return fd;
+}
+
+void
+setRecvTimeoutMs(int fd, std::uint64_t timeout_ms)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+        throwErrno("setsockopt(SO_RCVTIMEO)");
+}
+
+void
+sendAll(int fd, const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd, bytes + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("send");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+RecvStatus
+recvFrame(int fd, std::vector<std::uint8_t> &payload,
+          std::uint32_t max_frame_bytes, std::uint64_t mid_frame_grace_ms)
+{
+    // The recv timeout set on the socket (setRecvTimeoutMs) is the unit
+    // a mid-frame stall is counted in; assume 100 ms when unset.
+    constexpr std::uint64_t assumedTimeoutMs = 100;
+
+    std::uint8_t header[4];
+    std::size_t got = 0;
+    std::uint64_t stalled_ms = 0;
+    while (got < sizeof(header)) {
+        const ssize_t n =
+            recvChunk(fd, header + got, sizeof(header) - got);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            if (got == 0)
+                return RecvStatus::Eof;
+            throw IoError("connection closed mid-frame (header)");
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (got == 0)
+                return RecvStatus::Timeout;
+            stalled_ms += assumedTimeoutMs;
+            if (stalled_ms >= mid_frame_grace_ms)
+                throw IoError("peer stalled mid-frame (header)");
+            continue;
+        }
+        throwErrno("recv(header)");
+    }
+
+    const std::uint32_t length = static_cast<std::uint32_t>(header[0]) |
+                                 static_cast<std::uint32_t>(header[1])
+                                     << 8 |
+                                 static_cast<std::uint32_t>(header[2])
+                                     << 16 |
+                                 static_cast<std::uint32_t>(header[3])
+                                     << 24;
+    if (length == 0)
+        throw IoError("zero-length frame");
+    if (length > max_frame_bytes) {
+        throw IoError("frame of " + formatU64(length) +
+                      " bytes exceeds the limit of " +
+                      formatU64(max_frame_bytes));
+    }
+
+    payload.resize(length);
+    std::size_t read = 0;
+    stalled_ms = 0;
+    while (read < length) {
+        const ssize_t n =
+            recvChunk(fd, payload.data() + read, length - read);
+        if (n > 0) {
+            read += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0)
+            throw IoError("connection closed mid-frame (payload)");
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            stalled_ms += assumedTimeoutMs;
+            if (stalled_ms >= mid_frame_grace_ms)
+                throw IoError("peer stalled mid-frame (payload)");
+            continue;
+        }
+        throwErrno("recv(payload)");
+    }
+    return RecvStatus::Frame;
+}
+
+} // namespace hllc::serve

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Minimal RAII POSIX socket layer for the serving daemon, its load
+ * generator and the tests.
+ *
+ * Only what hllc-serve needs: a listener (Unix-domain path or loopback
+ * TCP with ephemeral-port resolution), blocking connects, and frame
+ * send/receive over the u32-length-prefix transport of
+ * serve/protocol.hh. Receives run with a short kernel timeout so
+ * blocked readers observe the drain flag within ~100 ms; sends use
+ * MSG_NOSIGNAL so a vanished peer surfaces as IoError, never SIGPIPE.
+ *
+ * All failures throw hllc::IoError — library code never terminates the
+ * process.
+ */
+
+#ifndef HLLC_SERVE_SOCKET_HH
+#define HLLC_SERVE_SOCKET_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace hllc::serve
+{
+
+/** Move-only owning file descriptor. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { close(); }
+
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &operator=(Fd &&other) noexcept;
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    /** Close now (idempotent); also called by the destructor. */
+    void close();
+    /** Shut down both directions (wakes a peer blocked in recv). */
+    void shutdown();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Where a daemon listens: a Unix path, or loopback TCP. */
+struct Endpoint
+{
+    std::string unixPath;    //!< non-empty selects AF_UNIX
+    std::uint16_t tcpPort = 0; //!< AF_INET 127.0.0.1; 0 = ephemeral
+};
+
+class Listener
+{
+  public:
+    /**
+     * Bind and listen on @p endpoint. A Unix path is unlink()ed first
+     * (a daemon restart must not fail on the previous socket file).
+     * Throws IoError on any syscall failure.
+     */
+    explicit Listener(const Endpoint &endpoint);
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Wait up to @p timeout_ms for a connection. Returns the accepted
+     * socket, or nothing on timeout. Throws IoError on a listener-level
+     * failure (per-connection accept errors are swallowed: the peer
+     * vanishing between poll and accept is not a daemon problem).
+     */
+    std::optional<Fd> accept(std::uint64_t timeout_ms);
+
+    /** The bound TCP port (resolved when 0 was requested); 0 for Unix. */
+    std::uint16_t port() const { return port_; }
+
+    /** Stop accepting: closes the socket (and unlinks a Unix path). */
+    void close();
+
+  private:
+    Fd fd_;
+    std::string unixPath_;
+    std::uint16_t port_ = 0;
+};
+
+/** Connect to @p endpoint (blocking). Throws IoError on failure. */
+Fd connectTo(const Endpoint &endpoint);
+
+/**
+ * Set the kernel receive timeout of @p fd (recvFrame's poll cadence).
+ */
+void setRecvTimeoutMs(int fd, std::uint64_t timeout_ms);
+
+/** Send all of @p data (+MSG_NOSIGNAL); throws IoError on failure. */
+void sendAll(int fd, const void *data, std::size_t size);
+
+/** Outcome of one recvFrame() call. */
+enum class RecvStatus
+{
+    Frame,   //!< a complete payload landed in the output buffer
+    Eof,     //!< clean end-of-stream at a frame boundary
+    Timeout, //!< the kernel receive timeout elapsed before any byte
+};
+
+/**
+ * Read one length-prefixed frame into @p payload.
+ *
+ * Returns Timeout only when no byte of the frame has been read yet (so
+ * a poll loop can check its drain flag); once the length prefix starts
+ * arriving the frame is read to completion, with up to
+ * @p mid_frame_grace_ms of cumulative stall tolerated before the
+ * connection is declared broken. A declared length of zero or beyond
+ * @p max_frame_bytes throws IoError before any allocation, as does a
+ * mid-frame EOF or socket error.
+ */
+RecvStatus recvFrame(int fd, std::vector<std::uint8_t> &payload,
+                     std::uint32_t max_frame_bytes,
+                     std::uint64_t mid_frame_grace_ms = 10'000);
+
+} // namespace hllc::serve
+
+#endif // HLLC_SERVE_SOCKET_HH

@@ -68,6 +68,48 @@ TEST(ThreadPool, DestructionDrainsQueuedWork)
     EXPECT_EQ(completed.load(), 64);
 }
 
+TEST(ThreadPool, StopDrainsEveryAcceptedTask)
+{
+    // Regression (PR 8): the daemon's graceful drain submits shard work
+    // right up to stop(); every task accepted before the stop must run,
+    // deterministically — never "some ran, some were dropped".
+    std::atomic<int> completed{ 0 };
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 128; ++i)
+        futures.push_back(pool.submit([&completed] { ++completed; }));
+    pool.stop();
+    EXPECT_EQ(completed.load(), 128);
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, SubmitAfterStopThrowsInsteadOfHanging)
+{
+    // Regression (PR 8): submit() after stop() used to enqueue onto a
+    // pool whose workers were gone — the future never became ready and
+    // the caller deadlocked. It must fail loudly instead.
+    ThreadPool pool(2);
+    pool.stop();
+    EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+    // stop() is idempotent, and the pool stays rejecting.
+    pool.stop();
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, StopIsSafeBeforeDestruction)
+{
+    std::atomic<int> completed{ 0 };
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&completed] { ++completed; });
+        pool.stop(); // destructor's implicit stop() must be a no-op
+        EXPECT_EQ(completed.load(), 16);
+    }
+    EXPECT_EQ(completed.load(), 16);
+}
+
 TEST(ParallelFor, CoversEveryIndexOnce)
 {
     for (const unsigned jobs : { 1u, 4u }) {
