@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Byte-level corpus enumeration for decoder fuzzing.
+ *
+ * The structure-aware trace fuzzer (trace_fuzz.hh) mutates *valid*
+ * event streams to hunt policy divergences; these helpers attack the
+ * other side of the trust boundary: the raw byte streams an ingest
+ * decoder is handed. They enumerate exhaustive truncation and
+ * byte-corruption corpora over a seed input so a test can assert the
+ * decoder's contract — every mutant is either cleanly rejected with a
+ * typed error or decodes to a valid result, and never crashes, hangs,
+ * or leaves partial output behind.
+ */
+
+#ifndef HLLC_CHECK_BYTEFUZZ_HH
+#define HLLC_CHECK_BYTEFUZZ_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hllc::check
+{
+
+/**
+ * Invoke @p fn on every strict prefix of @p bytes (lengths 0 through
+ * size-1): the exhaustive truncation corpus. @p fn receives the mutant
+ * bytes and the truncated length.
+ */
+template <typename Fn>
+void
+forEachTruncation(const std::vector<std::uint8_t> &bytes, const Fn &fn)
+{
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        std::vector<std::uint8_t> mutant(bytes.begin(),
+                                         bytes.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 len));
+        fn(mutant, len);
+    }
+}
+
+/**
+ * The XOR masks of the byte-flip corpus: full inversion plus the two
+ * single-bit edges (low bit, high bit). One byte at a time, these hit
+ * value-field corruption, off-by-one enum escapes, and sign/top-bit
+ * confusion without the cost of the full position × 255 product.
+ */
+inline const std::vector<std::uint8_t> &
+byteFlipMasks()
+{
+    static const std::vector<std::uint8_t> masks = { 0xff, 0x01, 0x80 };
+    return masks;
+}
+
+/**
+ * Invoke @p fn on every single-byte corruption of @p bytes: for each
+ * position and each mask in @p masks, the input with that one byte
+ * XOR-ed. @p fn receives the mutant bytes, the corrupted position, and
+ * the mask applied.
+ */
+template <typename Fn>
+void
+forEachByteFlip(const std::vector<std::uint8_t> &bytes,
+                const std::vector<std::uint8_t> &masks, const Fn &fn)
+{
+    std::vector<std::uint8_t> mutant = bytes;
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+        for (const std::uint8_t mask : masks) {
+            if (mask == 0)
+                continue;
+            mutant[pos] = static_cast<std::uint8_t>(bytes[pos] ^ mask);
+            fn(mutant, pos, mask);
+            mutant[pos] = bytes[pos];
+        }
+    }
+}
+
+} // namespace hllc::check
+
+#endif // HLLC_CHECK_BYTEFUZZ_HH

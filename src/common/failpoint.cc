@@ -197,6 +197,10 @@ allFailpoints()
                                    //   reply instead of enqueueing
         "serve.reply",             // serve::Server: fail the reply write
                                    //   (connection counted dead)
+        "ingest.decode",           // ingest::convertChampSim: fail the
+                                   //   record-stream decode
+        "ingest.write",            // ingest::writeTraceWithManifest:
+                                   //   fail before the .hlt write
     };
     return names;
 }

@@ -1,0 +1,40 @@
+#include "ingest/payload_synth.hh"
+
+#include "common/rng.hh"
+#include "compression/bdi.hh"
+
+namespace hllc::ingest
+{
+
+PayloadSynth::PayloadSynth(const workload::ContentMix &mix,
+                           std::uint64_t seed)
+    : mix_(mix), salt_(mix64(seed ^ 0x696e676573743031ULL))
+{
+}
+
+compression::Ce
+PayloadSynth::targetCeOf(Addr block) const
+{
+    // Same uniform-double construction as the app models: top 53 bits
+    // of a mixed draw over 2^53.
+    const double u =
+        static_cast<double>(mix64(block ^ salt_) >> 11) * 0x1.0p-53;
+    return mix_.draw(u);
+}
+
+std::uint8_t
+PayloadSynth::ecbOf(Addr block)
+{
+    const auto it = cache_.find(block);
+    if (it != cache_.end())
+        return it->second;
+    const BlockData data =
+        workload::synthesizeBlock(targetCeOf(block),
+                                  mix64(block ^ salt_) + 1);
+    const unsigned ecb = compression::BdiCompressor::compress(data).ecbBytes;
+    const auto byte = static_cast<std::uint8_t>(ecb);
+    cache_.emplace(block, byte);
+    return byte;
+}
+
+} // namespace hllc::ingest

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic per-block payload/ECB synthesis for ingested traces.
+ *
+ * External trace formats carry addresses but no block contents, so the
+ * compressed (ECB) size every .hlt event needs is synthesized the same
+ * way the app models do it: a stable content class is drawn per block
+ * from a ContentMix, a 64-byte payload with exactly that class is
+ * produced by workload::synthesizeBlock, and the BDI compressor's
+ * verdict on that payload becomes the event's ECB size. Everything is a
+ * pure function of (seed, block number), so the same input trace and
+ * seed always convert to byte-identical .hlt files.
+ */
+
+#ifndef HLLC_INGEST_PAYLOAD_SYNTH_HH
+#define HLLC_INGEST_PAYLOAD_SYNTH_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "workload/block_synth.hh"
+
+namespace hllc::ingest
+{
+
+/** Draws and caches one stable ECB size per block number. */
+class PayloadSynth
+{
+  public:
+    /**
+     * @param mix content-class weights (HCR/LCR/incompressible)
+     * @param seed conversion seed; independent streams per seed
+     */
+    PayloadSynth(const workload::ContentMix &mix, std::uint64_t seed);
+
+    /** Target content class of @p block (stable per block). */
+    compression::Ce targetCeOf(Addr block) const;
+
+    /**
+     * Synthesize @p block's payload and return its BDI ECB size in
+     * bytes (always within the trace-legal 2..64 range). Cached.
+     */
+    std::uint8_t ecbOf(Addr block);
+
+    /** Number of distinct blocks synthesized so far. */
+    std::size_t distinctBlocks() const { return cache_.size(); }
+
+  private:
+    workload::ContentMix mix_;
+    std::uint64_t salt_;
+    std::unordered_map<Addr, std::uint8_t> cache_;
+};
+
+} // namespace hllc::ingest
+
+#endif // HLLC_INGEST_PAYLOAD_SYNTH_HH

@@ -87,6 +87,10 @@ layerDeps()
           { "common", "cache", "compression", "fault", "hybrid",
             "workload", "replay", "hierarchy", "forecast", "sim",
             "check" } },
+        { "ingest",
+          { "common", "cache", "compression", "fault", "hybrid",
+            "workload", "replay", "hierarchy", "forecast", "sim",
+            "check" } },
     };
     return deps;
 }

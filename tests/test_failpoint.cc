@@ -15,11 +15,13 @@
 #include <string>
 #include <vector>
 
+#include "check/manifest.hh"
 #include "common/error.hh"
 #include "common/failpoint.hh"
 #include "common/metrics.hh"
 #include "common/serialize.hh"
 #include "common/thread_pool.hh"
+#include "ingest/champsim.hh"
 #include "replay/llc_trace.hh"
 
 namespace
@@ -273,6 +275,41 @@ TEST_F(FailpointSweep, ReadAndDecodeAndExportSitesThrowIoError)
     EXPECT_FALSE(exists(stats + ".tmp"));
     failpoint::reset();
     std::remove(stats.c_str());
+}
+
+TEST_F(FailpointSweep, IngestSitesFailCleanlyWithoutPartialOutput)
+{
+    // A conversion killed at either ingest site must leave no trace
+    // file, no manifest, and no orphan .tmp of either.
+    const auto fixture = ingest::synthesizeChampSimFixture(16, 1);
+    const std::string in = path_ + ".ct";
+    serial::writeFileAtomic(in, fixture.data(), fixture.size());
+    const std::string out = path_ + ".hlt";
+    const std::string manifest = check::manifestPathFor(out);
+
+    for (const char *name : { "ingest.decode", "ingest.write" }) {
+        failpoint::configure(std::string(name) + "=nth:1");
+        try {
+            ingest::convertChampSimFile(in, out, {});
+            FAIL() << name << " did not fire";
+        } catch (const IoError &e) {
+            EXPECT_NE(std::string(e.what()).find(name),
+                      std::string::npos)
+                << e.what();
+        }
+        for (const std::string &p :
+             { out, out + ".tmp", manifest, manifest + ".tmp" }) {
+            EXPECT_FALSE(exists(p)) << name << ": " << p;
+        }
+        failpoint::reset();
+    }
+
+    // With chaos off, the very same conversion commits both files.
+    ingest::convertChampSimFile(in, out, {});
+    EXPECT_TRUE(exists(out));
+    EXPECT_TRUE(exists(manifest));
+    for (const std::string &p : { in, out, manifest })
+        std::remove(p.c_str());
 }
 
 TEST(FailpointThreadPool, TaskThrowSurfacesAndStallCompletes)

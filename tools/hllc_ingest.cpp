@@ -1,0 +1,286 @@
+/**
+ * @file
+ * hllc_ingest: convert external traces and generate scenario-library
+ * workloads as verified .hlt traces with sidecar manifests.
+ *
+ * Converted and generated traces flow through the exact pipeline the
+ * rest of the tooling trusts: atomic .hlt write, seed-stamped
+ * manifest, and (optionally) an hllc-ingest-v1 JSON conversion report
+ * for machine consumption. Exit codes: 0 = success, 1 = failure
+ * (malformed input, I/O), 2 = usage error.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/argparse.hh"
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/numfmt.hh"
+#include "common/serialize.hh"
+#include "ingest/champsim.hh"
+#include "ingest/scenarios.hh"
+
+using namespace hllc;
+
+namespace
+{
+
+int
+usage(const char *prog)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <action> [options]\n"
+        "actions:\n"
+        "  --convert <in>        ChampSim CRC2 stream (raw/.gz/.xz) ->\n"
+        "                        .hlt + manifest\n"
+        "  --scenario <name>     generate a scenario-library trace\n"
+        "  --list-scenarios      print the scenario catalog\n"
+        "  --gen-fixture <out>   write a synthetic CRC2 fixture stream\n"
+        "options:\n"
+        "  --out <t.hlt>         output trace (convert/scenario)\n"
+        "  --seed S              synthesis/generation seed (default 1)\n"
+        "  --hcr F --lcr F       content-class fractions (0.4/0.3)\n"
+        "  --events N            scenario events (default 100000)\n"
+        "  --max-events N        cap converted events (default: all)\n"
+        "  --records N           fixture records (default 4096)\n"
+        "  --sets N --ways N     geometry scenarios target (128/16)\n"
+        "  --drop-prefetch       do not emit prefetches as events\n"
+        "  --mix NAME            mix name recorded on convert\n"
+        "  --report <r.json>     write the hllc-ingest-v1 report\n",
+        prog);
+    return 2;
+}
+
+struct Options
+{
+    std::string action;
+    std::string input;      //!< convert input / scenario name /
+                            //!< fixture output
+    std::string out;
+    std::string report;
+    std::string mixName = "champsim";
+    std::uint64_t seed = 1;
+    double hcr = 0.4;
+    double lcr = 0.3;
+    std::uint64_t events = 100'000;
+    std::uint64_t maxEvents = 0;
+    std::uint64_t records = 4096;
+    unsigned sets = 128;
+    unsigned ways = 16;
+    bool dropPrefetch = false;
+};
+
+/** JSON escaping for the few path/name strings the report carries. */
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+        } else {
+            out += c;
+        }
+    }
+    return out + "\"";
+}
+
+/** Elapsed seconds of the conversion (report timing only). */
+double
+elapsedSince(std::chrono::steady_clock::time_point start)
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start).count();
+}
+
+void
+writeReport(const Options &opt, const ingest::ConvertStats &stats,
+            double duration_s)
+{
+    if (opt.report.empty())
+        return;
+    const double events_per_sec =
+        duration_s > 0.0
+            ? static_cast<double>(stats.events) / duration_s
+            : 0.0;
+    std::string json = "{\n  \"schema\": \"hllc-ingest-v1\",\n";
+    json += "  \"action\": " + jsonString(opt.action) + ",\n";
+    json += "  \"input\": {\n";
+    json += "    \"name\": " + jsonString(opt.input) + ",\n";
+    json += "    \"container\": " +
+            jsonString(std::string(
+                ingest::containerKindName(stats.container))) + ",\n";
+    json += "    \"bytes_in\": " + formatU64(stats.bytesIn) + "\n  },\n";
+    json += "  \"records\": {\n";
+    json += "    \"total\": " + formatU64(stats.records) + ",\n";
+    json += "    \"loads\": " + formatU64(stats.loads) + ",\n";
+    json += "    \"rfos\": " + formatU64(stats.rfos) + ",\n";
+    json += "    \"prefetches\": " + formatU64(stats.prefetches) + ",\n";
+    json += "    \"writebacks\": " + formatU64(stats.writebacks) + ",\n";
+    json += "    \"dropped\": " + formatU64(stats.dropped) + "\n  },\n";
+    json += "  \"trace\": {\n";
+    json += "    \"path\": " + jsonString(opt.out) + ",\n";
+    json += "    \"events\": " + formatU64(stats.events) + ",\n";
+    json += "    \"distinct_blocks\": " +
+            formatU64(stats.distinctBlocks) + ",\n";
+    json += "    \"seed\": " + formatU64(opt.seed) + ",\n";
+    json += "    \"hcr\": " + formatDouble(opt.hcr) + ",\n";
+    json += "    \"lcr\": " + formatDouble(opt.lcr) + "\n  },\n";
+    json += "  \"timing\": {\n";
+    json += "    \"duration_s\": " + formatDouble(duration_s) + ",\n";
+    json += "    \"events_per_sec\": " + formatDouble(events_per_sec) +
+            "\n  }\n}\n";
+    serial::writeFileAtomic(opt.report, json.data(), json.size());
+}
+
+int
+runConvert(const Options &opt)
+{
+    const auto start = std::chrono::steady_clock::now();
+    ingest::ConvertOptions conv;
+    conv.seed = opt.seed;
+    conv.hcrFraction = opt.hcr;
+    conv.lcrFraction = opt.lcr;
+    conv.maxEvents = opt.maxEvents;
+    conv.dropPrefetches = opt.dropPrefetch;
+    conv.mixName = opt.mixName;
+    const ingest::ConvertStats stats =
+        ingest::convertChampSimFile(opt.input, opt.out, conv);
+    writeReport(opt, stats, elapsedSince(start));
+    std::printf("%s: %s records (%s) -> %s events + manifest\n",
+                opt.input.c_str(), formatU64(stats.records).c_str(),
+                std::string(
+                    ingest::containerKindName(stats.container)).c_str(),
+                formatU64(stats.events).c_str());
+    return 0;
+}
+
+int
+runScenario(const Options &opt)
+{
+    const auto start = std::chrono::steady_clock::now();
+    ingest::ScenarioOptions gen;
+    gen.events = opt.events;
+    gen.seed = opt.seed;
+    gen.numSets = opt.sets;
+    gen.totalWays = opt.ways;
+    gen.hcrFraction = opt.hcr;
+    gen.lcrFraction = opt.lcr;
+    const replay::LlcTrace trace =
+        ingest::generateScenario(opt.input, gen);
+    ingest::writeTraceWithManifest(opt.out, trace, opt.seed);
+
+    ingest::ConvertStats stats;
+    stats.events = trace.size();
+    writeReport(opt, stats, elapsedSince(start));
+    std::printf("%s: %s events (seed %s) -> %s + manifest\n",
+                opt.input.c_str(), formatU64(trace.size()).c_str(),
+                formatU64(opt.seed).c_str(), opt.out.c_str());
+    return 0;
+}
+
+int
+runListScenarios()
+{
+    for (const ingest::ScenarioInfo &info : ingest::scenarioCatalog()) {
+        std::printf("%-16s %s\n", std::string(info.name).c_str(),
+                    std::string(info.summary).c_str());
+    }
+    return 0;
+}
+
+int
+runGenFixture(const Options &opt)
+{
+    const std::vector<std::uint8_t> bytes =
+        ingest::synthesizeChampSimFixture(opt.records, opt.seed);
+    serial::writeFileAtomic(opt.input, bytes.data(), bytes.size());
+    std::printf("%s: %s CRC2 records (%s bytes, seed %s)\n",
+                opt.input.c_str(), formatU64(opt.records).c_str(),
+                formatU64(bytes.size()).c_str(),
+                formatU64(opt.seed).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    const auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value after %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--convert" || arg == "--scenario" ||
+            arg == "--gen-fixture") {
+            opt.action = arg.substr(2);
+            opt.input = need(i);
+        } else if (arg == "--list-scenarios") {
+            opt.action = "list-scenarios";
+        } else if (arg == "--out") {
+            opt.out = need(i);
+        } else if (arg == "--report") {
+            opt.report = need(i);
+        } else if (arg == "--mix") {
+            opt.mixName = need(i);
+        } else if (arg == "--drop-prefetch") {
+            opt.dropPrefetch = true;
+        } else if (arg == "--seed" || arg == "--events" ||
+                   arg == "--max-events" || arg == "--records") {
+            const auto v = parseU64(need(i));
+            if (!v)
+                fatal("bad value for %s", arg.c_str());
+            if (arg == "--seed")
+                opt.seed = *v;
+            else if (arg == "--events")
+                opt.events = *v;
+            else if (arg == "--max-events")
+                opt.maxEvents = *v;
+            else
+                opt.records = *v;
+        } else if (arg == "--sets" || arg == "--ways") {
+            const auto v = parseUnsigned(need(i), 1);
+            if (!v)
+                fatal("bad value for %s", arg.c_str());
+            (arg == "--sets" ? opt.sets : opt.ways) = *v;
+        } else if (arg == "--hcr" || arg == "--lcr") {
+            const auto v = parseDouble(need(i));
+            if (!v || *v < 0.0 || *v > 1.0)
+                fatal("bad fraction for %s", arg.c_str());
+            (arg == "--hcr" ? opt.hcr : opt.lcr) = *v;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (opt.action.empty())
+        return usage(argv[0]);
+    if ((opt.action == "convert" || opt.action == "scenario") &&
+        opt.out.empty()) {
+        fatal("--out <trace.hlt> is required for --%s",
+              opt.action.c_str());
+    }
+
+    try {
+        if (opt.action == "convert")
+            return runConvert(opt);
+        if (opt.action == "scenario")
+            return runScenario(opt);
+        if (opt.action == "list-scenarios")
+            return runListScenarios();
+        if (opt.action == "gen-fixture")
+            return runGenFixture(opt);
+    } catch (const IoError &e) {
+        fatal("%s", e.what());
+    }
+    return usage(argv[0]);
+}
