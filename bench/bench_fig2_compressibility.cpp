@@ -14,6 +14,7 @@
 #include "common/logging.hh"
 #include "sim/config.hh"
 #include "workload/mixes.hh"
+#include "workload/spec_profiles.hh"
 
 using namespace hllc;
 using namespace hllc::workload;

@@ -197,6 +197,9 @@ allFailpoints()
                                    //   reply instead of enqueueing
         "serve.reply",             // serve::Server: fail the reply write
                                    //   (connection counted dead)
+        "ingest.open",             // ingest::openByteSource: fail the
+                                   //   trace-file open / decompressor
+                                   //   spawn
         "ingest.decode",           // ingest::convertChampSim: fail the
                                    //   record-stream decode
         "ingest.write",            // ingest::writeTraceWithManifest:

@@ -7,6 +7,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/failpoint.hh"
+
 namespace hllc::ingest
 {
 
@@ -221,6 +223,7 @@ detectContainer(const std::string &path)
 std::unique_ptr<ByteSource>
 openByteSource(const std::string &path, ContainerKind *kind_out)
 {
+    HLLC_FAILPOINT("ingest.open");
     const ContainerKind kind = detectContainer(path);
     if (kind_out != nullptr)
         *kind_out = kind;

@@ -133,6 +133,23 @@ lexRawString(Cursor &cur)
     return out;
 }
 
+/**
+ * Consume a user-defined-literal suffix directly after a string or char
+ * literal (`"x"_sv`, `'c'_w`, `"s"s`). Without this the suffix would
+ * surface as a stray Identifier token, which the analysis indexer would
+ * mistake for a reference.
+ */
+std::string
+lexUdlSuffix(Cursor &cur)
+{
+    std::string suffix;
+    if (isIdentStart(cur.peek())) {
+        while (!cur.atEnd() && isIdentChar(cur.peek()))
+            suffix += cur.get();
+    }
+    return suffix;
+}
+
 /** Consume a pp-number (handles 0x1F, 1'000, 1e+5, 2.5f). */
 std::string
 lexNumber(Cursor &cur, char first)
@@ -308,12 +325,16 @@ lex(const std::string &source)
 
         if (c == '"') {
             cur.get();
-            push({ TokKind::String, lexQuoted(cur, '"'), "", line });
+            Token tok{ TokKind::String, lexQuoted(cur, '"'), "", line };
+            tok.payload = lexUdlSuffix(cur);
+            push(std::move(tok));
             continue;
         }
         if (c == '\'') {
             cur.get();
-            push({ TokKind::Char, lexQuoted(cur, '\''), "", line });
+            Token tok{ TokKind::Char, lexQuoted(cur, '\''), "", line };
+            tok.payload = lexUdlSuffix(cur);
+            push(std::move(tok));
             continue;
         }
 
@@ -328,13 +349,17 @@ lex(const std::string &source)
                     ? lexRawString(cur)
                     : lexQuoted(cur, '"');
                 Token tok{ TokKind::String, body, "", line };
+                tok.payload = lexUdlSuffix(cur);
                 tok.endLine = cur.line();
                 push(std::move(tok));
                 continue;
             }
             if (cur.peek() == '\'' && isEncodingPrefix(ident)) {
                 cur.get();
-                push({ TokKind::Char, lexQuoted(cur, '\''), "", line });
+                Token tok{ TokKind::Char, lexQuoted(cur, '\''), "",
+                           line };
+                tok.payload = lexUdlSuffix(cur);
+                push(std::move(tok));
                 continue;
             }
             push({ TokKind::Identifier, std::move(ident), "", line });

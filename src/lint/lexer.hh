@@ -45,7 +45,11 @@ struct Token
      * line (comments stripped, trimmed) is in @c payload.
      */
     std::string text;
-    /** Directive arguments, e.g. `"common/rng.hh"` or `HLLC_FOO_HH`. */
+    /**
+     * Directive arguments, e.g. `"common/rng.hh"` or `HLLC_FOO_HH`.
+     * For String/Char tokens: the user-defined-literal suffix, if any
+     * (`_sv` for `"x"_sv`), so no stray Identifier token is emitted.
+     */
     std::string payload;
     int line = 0;
     /** Last line the token covers (> line for multi-line comments). */

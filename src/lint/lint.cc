@@ -28,107 +28,12 @@ lintableExtension(const fs::path &path)
            ext == ".h" || ext == ".hpp";
 }
 
-/** Sorted repo-relative paths of every lintable file under the roots. */
-std::vector<std::string>
-collectFiles(const fs::path &root, const std::vector<std::string> &paths)
-{
-    std::vector<std::string> requested = paths;
-    if (requested.empty())
-        requested = { "src", "tools", "bench", "tests", "examples" };
-    std::vector<std::string> files;
-    for (const std::string &entry : requested) {
-        const fs::path abs = root / entry;
-        std::error_code ec;
-        if (fs::is_regular_file(abs, ec)) {
-            files.push_back(
-                fs::path(entry).generic_string());
-            continue;
-        }
-        if (!fs::is_directory(abs, ec)) {
-            throw IoError("lint path does not exist: " + abs.string());
-        }
-        for (fs::recursive_directory_iterator it(abs, ec), end;
-             it != end; it.increment(ec)) {
-            if (ec)
-                throw IoError("cannot walk " + abs.string() + ": " +
-                              ec.message());
-            if (!it->is_regular_file() ||
-                !lintableExtension(it->path())) {
-                continue;
-            }
-            files.push_back(
-                it->path().lexically_relative(root).generic_string());
-        }
-        if (ec)
-            throw IoError("cannot walk " + abs.string() + ": " +
-                          ec.message());
-    }
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()), files.end());
-    return files;
-}
-
 std::string
 readFile(const fs::path &path)
 {
     const std::vector<std::uint8_t> bytes =
         serial::readFileBytes(path.string());
     return std::string(bytes.begin(), bytes.end());
-}
-
-/**
- * Report include cycles among project headers (header-hygiene): a
- * cyclic header pair cannot both be self-contained, and one refactor
- * away it stops compiling. Project includes are resolved against the
- * src/ include root.
- */
-void
-checkIncludeCycles(
-    const std::map<std::string, std::vector<std::string>> &graph,
-    std::vector<Finding> &findings)
-{
-    enum class Color { White, Grey, Black };
-    std::map<std::string, Color> color;
-    std::vector<std::string> stack;
-
-    const std::function<void(const std::string &)> visit =
-        [&](const std::string &node) {
-            color[node] = Color::Grey;
-            stack.push_back(node);
-            const auto edges = graph.find(node);
-            if (edges != graph.end()) {
-                for (const std::string &next : edges->second) {
-                    if (graph.find(next) == graph.end())
-                        continue;
-                    const Color c = color.count(next) != 0
-                        ? color[next] : Color::White;
-                    if (c == Color::White) {
-                        visit(next);
-                    } else if (c == Color::Grey) {
-                        std::string chain = next;
-                        for (auto it = std::find(stack.begin(),
-                                                 stack.end(), next);
-                             it != stack.end(); ++it) {
-                            if (*it != next)
-                                chain += " -> " + *it;
-                        }
-                        chain += " -> " + next;
-                        findings.push_back(
-                            { node, 1, "header-hygiene",
-                              "include cycle: " + chain, "" });
-                    }
-                }
-            }
-            stack.pop_back();
-            color[node] = Color::Black;
-        };
-
-    for (const auto &entry : graph) {
-        if (color.count(entry.first) == 0 ||
-            color[entry.first] == Color::White) {
-            visit(entry.first);
-        }
-    }
 }
 
 /** `file|rule|line-text` — see formatBaseline(). */
@@ -167,6 +72,125 @@ jsonEscape(const std::string &text)
 
 } // anonymous namespace
 
+std::vector<std::string>
+collectLintFiles(const std::string &root_str,
+                 const std::vector<std::string> &paths)
+{
+    const fs::path root =
+        root_str.empty() ? fs::path(".") : fs::path(root_str);
+    std::vector<std::string> requested = paths;
+    if (requested.empty())
+        requested = { "src", "tools", "bench", "tests", "examples" };
+    std::vector<std::string> files;
+    for (const std::string &entry : requested) {
+        const fs::path abs = root / entry;
+        std::error_code ec;
+        if (fs::is_regular_file(abs, ec)) {
+            files.push_back(
+                fs::path(entry).generic_string());
+            continue;
+        }
+        if (!fs::is_directory(abs, ec)) {
+            throw IoError("lint path does not exist: " + abs.string());
+        }
+        for (fs::recursive_directory_iterator it(abs, ec), end;
+             it != end; it.increment(ec)) {
+            if (ec)
+                throw IoError("cannot walk " + abs.string() + ": " +
+                              ec.message());
+            if (!it->is_regular_file() ||
+                !lintableExtension(it->path())) {
+                continue;
+            }
+            files.push_back(
+                it->path().lexically_relative(root).generic_string());
+        }
+        if (ec)
+            throw IoError("cannot walk " + abs.string() + ": " +
+                          ec.message());
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+void
+checkIncludeCycles(
+    const std::map<std::string, std::vector<std::string>> &graph,
+    std::vector<Finding> &findings)
+{
+    enum class Color { White, Grey, Black };
+    std::map<std::string, Color> color;
+    std::vector<std::string> stack;
+
+    const std::function<void(const std::string &)> visit =
+        [&](const std::string &node) {
+            color[node] = Color::Grey;
+            stack.push_back(node);
+            const auto edges = graph.find(node);
+            if (edges != graph.end()) {
+                for (const std::string &next : edges->second) {
+                    if (graph.find(next) == graph.end())
+                        continue;
+                    const Color c = color.count(next) != 0
+                        ? color[next] : Color::White;
+                    if (c == Color::White) {
+                        visit(next);
+                    } else if (c == Color::Grey) {
+                        std::string chain = next;
+                        for (auto it = std::find(stack.begin(),
+                                                 stack.end(), next);
+                             it != stack.end(); ++it) {
+                            if (*it != next)
+                                chain += " -> " + *it;
+                        }
+                        chain += " -> " + next;
+                        findings.push_back(
+                            { node, 1, "include-graph",
+                              "include cycle: " + chain, "" });
+                    }
+                }
+            }
+            stack.pop_back();
+            color[node] = Color::Black;
+        };
+
+    for (const auto &entry : graph) {
+        if (color.count(entry.first) == 0 ||
+            color[entry.first] == Color::White) {
+            visit(entry.first);
+        }
+    }
+}
+
+void
+subtractBaseline(const std::string &baselineText, RunResult &result)
+{
+    std::multiset<std::string> baseline;
+    std::string line;
+    for (std::size_t i = 0; i <= baselineText.size(); ++i) {
+        if (i == baselineText.size() || baselineText[i] == '\n') {
+            if (!line.empty() && line[0] != '#')
+                baseline.insert(line);
+            line.clear();
+        } else if (baselineText[i] != '\r') {
+            line += baselineText[i];
+        }
+    }
+    std::vector<Finding> kept;
+    for (Finding &finding : result.findings) {
+        const auto it = baseline.find(baselineKey(finding));
+        if (it != baseline.end()) {
+            baseline.erase(it);
+            ++result.baselined;
+        } else {
+            kept.push_back(std::move(finding));
+        }
+    }
+    result.findings = std::move(kept);
+    result.staleBaseline = baseline.size();
+}
+
 RunResult
 lintTree(const std::string &root, const RunOptions &options)
 {
@@ -174,7 +198,7 @@ lintTree(const std::string &root, const RunOptions &options)
     const fs::path root_path = root.empty() ? fs::path(".")
                                             : fs::path(root);
     const std::vector<std::string> files =
-        collectFiles(root_path, options.paths);
+        collectLintFiles(root, options.paths);
 
     std::map<std::string, std::vector<std::string>> include_graph;
     for (const std::string &file : files) {
@@ -194,35 +218,12 @@ lintTree(const std::string &root, const RunOptions &options)
             include_graph[file] = std::move(edges);
         }
     }
-    if (options.rules.ruleEnabled("header-hygiene"))
+    if (options.rules.ruleEnabled("include-graph"))
         checkIncludeCycles(include_graph, result.findings);
 
     if (!options.baselinePath.empty()) {
-        const std::string text =
-            readFile(root_path / options.baselinePath);
-        std::multiset<std::string> baseline;
-        std::string line;
-        for (std::size_t i = 0; i <= text.size(); ++i) {
-            if (i == text.size() || text[i] == '\n') {
-                if (!line.empty() && line[0] != '#')
-                    baseline.insert(line);
-                line.clear();
-            } else if (text[i] != '\r') {
-                line += text[i];
-            }
-        }
-        std::vector<Finding> kept;
-        for (Finding &finding : result.findings) {
-            const auto it = baseline.find(baselineKey(finding));
-            if (it != baseline.end()) {
-                baseline.erase(it);
-                ++result.baselined;
-            } else {
-                kept.push_back(std::move(finding));
-            }
-        }
-        result.findings = std::move(kept);
-        result.staleBaseline = baseline.size();
+        subtractBaseline(readFile(root_path / options.baselinePath),
+                         result);
     }
 
     std::stable_sort(result.findings.begin(), result.findings.end(),

@@ -15,6 +15,7 @@
 #ifndef HLLC_LINT_LINT_HH
 #define HLLC_LINT_LINT_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,33 @@ struct RunResult
  * file cannot be read.
  */
 RunResult lintTree(const std::string &root, const RunOptions &options);
+
+/**
+ * Sorted, de-duplicated repo-relative paths of every lintable C++ file
+ * under @p paths (empty = the project default set). Shared with the
+ * analysis/ driver so both walk the identical file set.
+ */
+std::vector<std::string>
+collectLintFiles(const std::string &root,
+                 const std::vector<std::string> &paths);
+
+/**
+ * Report include cycles among project headers under rule
+ * `include-graph`: a cyclic header pair cannot both be self-contained.
+ * @p graph maps each header to the project headers it includes
+ * (resolved paths; edges to nodes absent from the graph are ignored).
+ */
+void checkIncludeCycles(
+    const std::map<std::string, std::vector<std::string>> &graph,
+    std::vector<Finding> &findings);
+
+/**
+ * Subtract the checked-in baseline (text of the baseline file) from
+ * @p result: matched findings are dropped and counted in `baselined`,
+ * unmatched baseline entries in `staleBaseline`.
+ */
+void subtractBaseline(const std::string &baselineText,
+                      RunResult &result);
 
 /** One `file|rule|line-text` baseline line per finding. */
 std::string formatBaseline(const std::vector<Finding> &findings);

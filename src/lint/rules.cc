@@ -19,6 +19,14 @@ const char *const kAtomicRename = "atomic-rename";
 const char *const kLocale = "locale";
 const char *const kNoExit = "no-exit-in-library";
 const char *const kHeaderHygiene = "header-hygiene";
+// Semantic rules: engines live in analysis/engines.cc, but the names
+// are registered here so waivers, --no-rule and the JSON counts treat
+// them exactly like the token-level rules.
+const char *const kFailpointCoverage = "failpoint-coverage";
+const char *const kLockDiscipline = "lock-discipline";
+const char *const kRngDiscipline = "rng-discipline";
+const char *const kSchemaDrift = "schema-drift";
+const char *const kIncludeGraph = "include-graph";
 const char *const kSuppression = "suppression";
 
 bool
@@ -67,6 +75,7 @@ layerDeps()
         { "fault", { "common" } },
         { "cache", { "common" } },
         { "lint", { "common" } },
+        { "analysis", { "common", "lint" } },
         { "hybrid", { "common", "cache", "compression", "fault" } },
         { "workload", { "common", "compression" } },
         { "replay",
@@ -464,25 +473,20 @@ checkHeaderHygiene(FileLint &ctx, const std::vector<Token> &all_tokens)
     }
 }
 
-/** One parsed `hllc-lint: allow(...)` waiver. */
-struct Suppression
-{
-    int firstLine; //!< first source line it covers
-    int lastLine;  //!< last source line it covers
-    std::set<std::string> rules;
-};
-
 /**
  * Parse suppression comments. A waiver covers its own line(s); when the
  * comment stands alone on its line it also covers the next line.
- * Malformed waivers (no justification, unknown rule) are reported.
+ * Malformed waivers (no justification, unknown rule) are reported when
+ * @p ctx is non-null; parseWaivers() passes null because lintSource()
+ * already reported them once.
  */
-std::vector<Suppression>
-parseSuppressions(FileLint &ctx, const Options &options)
+std::vector<Waiver>
+collectWaivers(const CodeView &view, std::size_t line_count,
+               FileLint *ctx, const Options &options)
 {
     static const std::string marker = "hllc-lint:";
-    std::vector<Suppression> out;
-    for (const Token &comment : ctx.view.comments) {
+    std::vector<Waiver> out;
+    for (const Token &comment : view.comments) {
         const std::size_t at = comment.text.find(marker);
         if (at == std::string::npos)
             continue;
@@ -496,16 +500,20 @@ parseSuppressions(FileLint &ctx, const Options &options)
         };
         skipSpace();
         if (comment.text.compare(pos, 6, "allow(") != 0) {
-            ctx.report(kSuppression, comment.line,
-                       "malformed waiver; expected 'hllc-lint:"
-                       " allow(RULE) JUSTIFICATION'");
+            if (ctx != nullptr) {
+                ctx->report(kSuppression, comment.line,
+                            "malformed waiver; expected 'hllc-lint:"
+                            " allow(RULE) JUSTIFICATION'");
+            }
             continue;
         }
         pos += 6;
         const std::size_t close = comment.text.find(')', pos);
         if (close == std::string::npos) {
-            ctx.report(kSuppression, comment.line,
-                       "unterminated 'allow(' in waiver");
+            if (ctx != nullptr) {
+                ctx->report(kSuppression, comment.line,
+                            "unterminated 'allow(' in waiver");
+            }
             continue;
         }
         // Prose quoting the waiver syntax ("allow(RULE)", angle-bracket
@@ -523,7 +531,7 @@ parseSuppressions(FileLint &ctx, const Options &options)
         }
         if (prose)
             continue;
-        Suppression sup;
+        Waiver sup;
         sup.firstLine = comment.line;
         sup.lastLine = comment.endLine;
         std::string name;
@@ -532,9 +540,11 @@ parseSuppressions(FileLint &ctx, const Options &options)
             if (c == ',' || c == ')') {
                 if (std::find(allRules().begin(), allRules().end(),
                               name) == allRules().end()) {
-                    ctx.report(kSuppression, comment.line,
-                               "waiver names unknown rule '" + name +
-                               "'");
+                    if (ctx != nullptr) {
+                        ctx->report(kSuppression, comment.line,
+                                    "waiver names unknown rule '" +
+                                    name + "'");
+                    }
                 } else {
                     sup.rules.insert(name);
                 }
@@ -550,21 +560,20 @@ parseSuppressions(FileLint &ctx, const Options &options)
         justification.erase(justification.begin(),
                             std::find_if(justification.begin(),
                                          justification.end(), notspace));
-        if (justification.empty() &&
+        if (justification.empty() && ctx != nullptr &&
             options.ruleEnabled(kSuppression)) {
-            ctx.report(kSuppression, comment.line,
-                       "waiver needs a justification after allow(...)");
+            ctx->report(kSuppression, comment.line,
+                        "waiver needs a justification after allow(...)");
         }
         // A comment sharing its line with code waives that line. A
         // standalone comment (possibly continued over further comment
         // lines) waives the next line that holds code.
         std::set<int> code_lines;
-        for (const Token &code : ctx.view.code)
+        for (const Token &code : view.code)
             code_lines.insert(code.line);
         if (code_lines.count(comment.line) == 0) {
             int line = sup.lastLine + 1;
-            const int limit =
-                static_cast<int>(ctx.lines.size());
+            const int limit = static_cast<int>(line_count);
             while (line < limit && code_lines.count(line) == 0)
                 ++line;
             sup.lastLine = line;
@@ -581,8 +590,10 @@ const std::vector<std::string> &
 allRules()
 {
     static const std::vector<std::string> rules = {
-        kDeterminism, kAtomicIo, kAtomicRename, kLocale, kNoExit,
-        kHeaderHygiene, kSuppression,
+        kDeterminism,    kAtomicIo,      kAtomicRename,
+        kLocale,         kNoExit,        kHeaderHygiene,
+        kFailpointCoverage, kLockDiscipline, kRngDiscipline,
+        kSchemaDrift,    kIncludeGraph,  kSuppression,
     };
     return rules;
 }
@@ -616,16 +627,14 @@ lintSource(const std::string &path, const std::string &content,
     if (options.ruleEnabled(kHeaderHygiene))
         checkHeaderHygiene(ctx, tokens);
 
-    const std::vector<Suppression> waivers =
-        parseSuppressions(ctx, options);
+    const std::vector<Waiver> waivers =
+        collectWaivers(view, lines.size(), &ctx, options);
     std::vector<Finding> kept;
     for (Finding &finding : ctx.findings) {
         bool waived = false;
-        for (const Suppression &sup : waivers) {
+        for (const Waiver &sup : waivers) {
             if (finding.rule != kSuppression &&
-                sup.rules.count(finding.rule) != 0 &&
-                finding.line >= sup.firstLine &&
-                finding.line <= sup.lastLine) {
+                sup.covers(finding.rule, finding.line)) {
                 waived = true;
                 break;
             }
@@ -638,6 +647,14 @@ lintSource(const std::string &path, const std::string &content,
                          return a.line < b.line;
                      });
     return kept;
+}
+
+std::vector<Waiver>
+parseWaivers(const std::string &content)
+{
+    const CodeView view(lex(content));
+    return collectWaivers(view, splitLines(content).size(), nullptr,
+                          Options{});
 }
 
 std::vector<std::string>

@@ -22,7 +22,25 @@
  *    sanctioned logging sinks; library code throws hllc::IoError.
  *  - `header-hygiene`: include guards named HLLC_<PATH>_HH, no
  *    `using namespace` in headers, and module includes that respect
- *    the CMake layering DAG (the include-graph engine).
+ *    the CMake layering DAG.
+ *
+ * Five further rules are semantic: they need the whole-tree symbol
+ * index built by src/analysis, so only their names live here (the
+ * engines are in analysis/engines.hh):
+ *
+ *  - `failpoint-coverage`: fallible syscall wrapper sites must be
+ *    reachable from a compiled-in HLLC_FAILPOINT, and failpoint name
+ *    literals must exactly match the closed catalog in
+ *    common/failpoint.cc.
+ *  - `lock-discipline`: HLLC_GUARDED_BY(m) fields may only be touched
+ *    under a MutexLock on m (the GCC-side stand-in for Clang's
+ *    -Wthread-safety).
+ *  - `rng-discipline`: RNG construction outside common/rng must be
+ *    seeded through childStream/childSeed/fork, never ad hoc.
+ *  - `schema-drift`: JSON keys in the hllc-*-v1 exporters must match
+ *    the schema tables in EXPERIMENTS.md.
+ *  - `include-graph`: no include cycles among project headers, no
+ *    includes whose declared names the includer never references.
  *
  * Findings can be waived inline with
  * `// hllc-lint: allow(<rule>[,<rule>...]) <justification>` on the
@@ -33,6 +51,7 @@
 #ifndef HLLC_LINT_RULES_HH
 #define HLLC_LINT_RULES_HH
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -79,6 +98,32 @@ std::vector<Finding> lintSource(const std::string &path,
  * cross-file include-graph checks in lint.hh.
  */
 std::vector<std::string> projectIncludes(const std::string &content);
+
+/**
+ * One `hllc-lint: allow(...)` waiver and the line range it covers (a
+ * comment sharing its line with code covers that line; a standalone
+ * comment covers the next line holding code).
+ */
+struct Waiver
+{
+    int firstLine = 0;
+    int lastLine = 0;
+    std::set<std::string> rules;
+
+    bool covers(const std::string &rule, int line) const
+    {
+        return line >= firstLine && line <= lastLine &&
+               rules.count(rule) != 0;
+    }
+};
+
+/**
+ * The well-formed waivers of @p content, for layers (like analysis/)
+ * that produce findings of their own and must honour the same inline
+ * suppressions lintSource() applies. Malformed waivers are not
+ * reported here — lintSource() owns the `suppression` rule.
+ */
+std::vector<Waiver> parseWaivers(const std::string &content);
 
 } // namespace hllc::lint
 

@@ -9,6 +9,7 @@
 #include "common/thread_pool.hh"
 #include "hierarchy/hierarchy.hh"
 #include "sim/grid.hh"
+#include "workload/mixes.hh"
 
 namespace hllc::sim
 {

@@ -17,7 +17,6 @@
 #include "forecast/forecast.hh"
 #include "sim/config.hh"
 #include "sim/resilience.hh"
-#include "workload/mixes.hh"
 
 namespace hllc::sim
 {

@@ -13,7 +13,6 @@
 
 #include "fault/endurance.hh"
 #include "fault/fault_map.hh"
-#include "fault/wear_level.hh"
 #include "hierarchy/hierarchy.hh"
 #include "hierarchy/trace_recorder.hh"
 #include "hybrid/hybrid_llc.hh"

@@ -1,5 +1,7 @@
 #include "workload/mixes.hh"
 
+#include "workload/spec_profiles.hh"
+
 #include "common/logging.hh"
 
 namespace hllc::workload

@@ -13,7 +13,6 @@
 #include <vector>
 
 #include "workload/app_model.hh"
-#include "workload/spec_profiles.hh"
 
 namespace hllc::workload
 {

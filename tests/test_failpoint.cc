@@ -287,7 +287,8 @@ TEST_F(FailpointSweep, IngestSitesFailCleanlyWithoutPartialOutput)
     const std::string out = path_ + ".hlt";
     const std::string manifest = check::manifestPathFor(out);
 
-    for (const char *name : { "ingest.decode", "ingest.write" }) {
+    for (const char *name :
+         { "ingest.open", "ingest.decode", "ingest.write" }) {
         failpoint::configure(std::string(name) + "=nth:1");
         try {
             ingest::convertChampSimFile(in, out, {});

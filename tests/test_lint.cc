@@ -486,15 +486,15 @@ TEST(LintTree, DetectsHeaderIncludeCycles)
         lint::lintTree(tree.rootStr(), options);
     bool cycle_reported = false;
     for (const lint::Finding &finding : result.findings) {
-        if (finding.rule == "header-hygiene" &&
+        if (finding.rule == "include-graph" &&
             finding.message.find("include cycle") != std::string::npos) {
             cycle_reported = true;
         }
     }
     EXPECT_TRUE(cycle_reported);
 
-    // The cycle detector is part of header-hygiene and obeys its switch.
-    options.rules = without("header-hygiene");
+    // The cycle detector is rule include-graph and obeys its switch.
+    options.rules = without("include-graph");
     EXPECT_TRUE(lint::lintTree(tree.rootStr(), options).findings.empty());
 }
 
@@ -579,6 +579,87 @@ TEST(LintLexer, BlockCommentsTrackEndLine)
     EXPECT_EQ(tokens[0].kind, lint::TokKind::Comment);
     EXPECT_EQ(tokens[0].line, 1);
     EXPECT_EQ(tokens[0].endLine, 3);
+}
+
+/** First token of @p kind, or nullptr. */
+const lint::Token *
+firstOf(const std::vector<lint::Token> &tokens, lint::TokKind kind)
+{
+    for (const lint::Token &tok : tokens) {
+        if (tok.kind == kind)
+            return &tok;
+    }
+    return nullptr;
+}
+
+TEST(LintLexer, DigitSeparatorsStayOneNumberToken)
+{
+    const std::vector<lint::Token> tokens =
+        lint::lex("auto n = 1'048'576; auto h = 0xFF'FF;\n");
+    std::vector<std::string> numbers;
+    for (const lint::Token &tok : tokens) {
+        if (tok.kind == lint::TokKind::Number)
+            numbers.push_back(tok.text);
+    }
+    ASSERT_EQ(numbers.size(), 2u);
+    EXPECT_EQ(numbers[0], "1'048'576");
+    EXPECT_EQ(numbers[1], "0xFF'FF");
+}
+
+TEST(LintLexer, NumericUdlSuffixStaysInTheNumberToken)
+{
+    const std::vector<lint::Token> tokens =
+        lint::lex("auto b = 64_kb; auto t = 250ms;\n");
+    std::vector<std::string> numbers;
+    for (const lint::Token &tok : tokens) {
+        if (tok.kind == lint::TokKind::Number)
+            numbers.push_back(tok.text);
+        // The suffix must NOT leak out as a free identifier.
+        if (tok.kind == lint::TokKind::Identifier) {
+            EXPECT_NE(tok.text, "_kb");
+            EXPECT_NE(tok.text, "ms");
+        }
+    }
+    ASSERT_EQ(numbers.size(), 2u);
+    EXPECT_EQ(numbers[0], "64_kb");
+    EXPECT_EQ(numbers[1], "250ms");
+}
+
+TEST(LintLexer, StringUdlSuffixLandsInPayload)
+{
+    const std::vector<lint::Token> tokens =
+        lint::lex("auto s = \"abc\"_sv; auto c = 'x'_ch;\n");
+    const lint::Token *str = firstOf(tokens, lint::TokKind::String);
+    const lint::Token *chr = firstOf(tokens, lint::TokKind::Char);
+    ASSERT_NE(str, nullptr);
+    ASSERT_NE(chr, nullptr);
+    EXPECT_EQ(str->text, "abc");
+    EXPECT_EQ(str->payload, "_sv");
+    EXPECT_EQ(chr->payload, "_ch");
+    for (const lint::Token &tok : tokens) {
+        if (tok.kind == lint::TokKind::Identifier) {
+            EXPECT_NE(tok.text, "_sv");
+            EXPECT_NE(tok.text, "_ch");
+        }
+    }
+}
+
+TEST(LintLexer, RawStringNonEmptyDelimiterEndsAtItsOwnCloser)
+{
+    // `)"` inside the literal is NOT the closer when the delimiter is
+    // `x(`; only `)x"` ends it.
+    const std::vector<lint::Token> tokens = lint::lex(
+        "auto s = R\"x(inner )\" still inside)x\"_raw; int after = 1;\n");
+    const lint::Token *str = firstOf(tokens, lint::TokKind::String);
+    ASSERT_NE(str, nullptr);
+    EXPECT_NE(str->text.find("still inside"), std::string::npos);
+    EXPECT_EQ(str->payload, "_raw");
+    bool saw_after = false;
+    for (const lint::Token &tok : tokens) {
+        saw_after |= tok.kind == lint::TokKind::Identifier &&
+                     tok.text == "after";
+    }
+    EXPECT_TRUE(saw_after);
 }
 
 } // anonymous namespace

@@ -1,17 +1,24 @@
 /**
  * @file
  * hllc_lint: enforce the project's hard-won invariants as named,
- * suppressible static-analysis rules (see DESIGN.md §11).
+ * suppressible static-analysis rules (see DESIGN.md §11 and §14).
  *
- * Usage: hllc_lint [--root DIR] [--format text|json]
+ * Usage: hllc_lint [--root DIR] [--format text|json|sarif]
  *                  [--baseline FILE] [--write-baseline FILE]
- *                  [--no-rule RULE]... [--list-rules] [PATH...]
+ *                  [--cache FILE] [--no-cache]
+ *                  [--no-rule RULE]... [--list-rules] [--stats]
+ *                  [PATH...]
  *
  * PATHs are directories or files relative to --root (default: the
  * current directory); with none given the project default set
- * `src tools bench tests examples` is walked. Exit status: 0 when the
- * tree is clean (beyond the baseline), 1 when findings remain, 2 on
- * usage or I/O errors — the contract the CI lint job relies on.
+ * `src tools bench tests examples` is walked. The token-level rules
+ * and the cross-file semantic engines (failpoint-coverage,
+ * lock-discipline, rng-discipline, schema-drift, include-graph) run in
+ * one pass, backed by the incremental index cache at
+ * `<root>/.hllc-lint-cache` (override with --cache, disable with
+ * --no-cache). Exit status: 0 when the tree is clean (beyond the
+ * baseline), 1 when findings remain, 2 on usage or I/O errors — the
+ * contract the CI lint job relies on.
  */
 
 #include <cstdio>
@@ -20,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
@@ -35,11 +43,18 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--root DIR] [--format text|json]\n"
+        "usage: %s [--root DIR] [--format text|json|sarif]\n"
         "       [--baseline FILE] [--write-baseline FILE]\n"
-        "       [--no-rule RULE]... [--list-rules] [PATH...]\n",
+        "       [--cache FILE] [--no-cache]\n"
+        "       [--no-rule RULE]... [--list-rules] [--stats] [PATH...]\n",
         argv0);
     return 2;
+}
+
+bool
+knownFormat(const std::string &format)
+{
+    return format == "text" || format == "json" || format == "sarif";
 }
 
 } // anonymous namespace
@@ -50,7 +65,10 @@ main(int argc, char **argv)
     std::string root = ".";
     std::string format = "text";
     std::string write_baseline;
-    lint::RunOptions options;
+    std::string cache = ".hllc-lint-cache";
+    bool use_cache = true;
+    bool show_stats = false;
+    analysis::RunOptions options;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -63,16 +81,22 @@ main(int argc, char **argv)
             root = value("--root");
         } else if (std::strcmp(arg, "--format") == 0) {
             format = value("--format");
-            if (format != "text" && format != "json")
+            if (!knownFormat(format))
                 return usage(argv[0]);
         } else if (std::strncmp(arg, "--format=", 9) == 0) {
             format = arg + 9;
-            if (format != "text" && format != "json")
+            if (!knownFormat(format))
                 return usage(argv[0]);
         } else if (std::strcmp(arg, "--baseline") == 0) {
             options.baselinePath = value("--baseline");
         } else if (std::strcmp(arg, "--write-baseline") == 0) {
             write_baseline = value("--write-baseline");
+        } else if (std::strcmp(arg, "--cache") == 0) {
+            cache = value("--cache");
+        } else if (std::strcmp(arg, "--no-cache") == 0) {
+            use_cache = false;
+        } else if (std::strcmp(arg, "--stats") == 0) {
+            show_stats = true;
         } else if (std::strcmp(arg, "--no-rule") == 0) {
             options.rules.disabledRules.push_back(value("--no-rule"));
         } else if (std::strcmp(arg, "--list-rules") == 0) {
@@ -99,9 +123,21 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    if (use_cache) {
+        options.cachePath =
+            (std::filesystem::path(root) / cache).string();
+    }
 
     try {
-        const lint::RunResult result = lint::lintTree(root, options);
+        analysis::RunStats stats;
+        const lint::RunResult result =
+            analysis::analyzeTree(root, options, &stats);
+        if (show_stats) {
+            std::fprintf(stderr,
+                         "hllc_lint: %zu file(s) indexed, %zu cache"
+                         " hit(s)\n",
+                         stats.filesIndexed, stats.cacheHits);
+        }
         if (!write_baseline.empty()) {
             const std::string text =
                 lint::formatBaseline(result.findings);
@@ -116,7 +152,8 @@ main(int argc, char **argv)
         }
         const std::string report = format == "json"
             ? lint::formatJson(result)
-            : lint::formatText(result);
+            : format == "sarif" ? analysis::formatSarif(result)
+                                : lint::formatText(result);
         std::fputs(report.c_str(), stdout);
         return result.findings.empty() ? 0 : 1;
     } catch (const Error &e) {

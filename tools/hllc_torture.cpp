@@ -386,6 +386,8 @@ selfExePath()
 pid_t
 spawnWorker(const std::string &self, const TortureConfig &torture)
 {
+    // hllc-lint: allow(failpoint-coverage) the torture driver IS the
+    // fault injector; killing its own fork() tests nothing.
     const pid_t pid = ::fork();
     if (pid < 0)
         fatal("fork failed: %s", std::strerror(errno));
